@@ -1,0 +1,119 @@
+// EXP-B1 — fire simulator micro-benchmarks: the Rothermel behaviour kernel
+// for every NFFL fuel model and full-map propagation across grid sizes. The
+// propagation cost bounds the whole system (every fitness evaluation is one
+// propagation), so these numbers anchor the response-time experiments.
+#include <benchmark/benchmark.h>
+
+#include "common/units.hpp"
+#include "firelib/environment.hpp"
+#include "firelib/propagator.hpp"
+
+namespace {
+
+using namespace essns;
+using namespace essns::firelib;
+
+const MoistureSet kDry{0.06, 0.08, 0.10, 0.60, 0.90};
+
+void BM_RothermelBehavior(benchmark::State& state) {
+  const FireSpreadModel model;
+  const int fuel = static_cast<int>(state.range(0));
+  const WindSlope ws{units::mph_to_ft_per_min(8.0), 45.0,
+                     units::slope_degrees_to_ratio(15.0), 180.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.behavior(fuel, kDry, ws));
+  }
+}
+BENCHMARK(BM_RothermelBehavior)->DenseRange(1, 13, 4);
+
+void BM_FuelBedIntermediates(benchmark::State& state) {
+  const auto& model = FuelCatalog::standard().model(
+      static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_fuel_bed(model));
+  }
+}
+BENCHMARK(BM_FuelBedIntermediates)->Arg(1)->Arg(10);
+
+void BM_SpreadAtAzimuth(benchmark::State& state) {
+  const FireSpreadModel model;
+  const WindSlope ws{units::mph_to_ft_per_min(12.0), 90.0, 0.0, 0.0};
+  const FireBehavior behavior = model.behavior(1, kDry, ws);
+  double azimuth = 0.0;
+  for (auto _ : state) {
+    azimuth += 17.0;
+    benchmark::DoNotOptimize(behavior.spread_rate_at(azimuth));
+  }
+}
+BENCHMARK(BM_SpreadAtAzimuth);
+
+Scenario bench_scenario() {
+  Scenario s;
+  s.model = 1;
+  s.wind_speed = 10.0;
+  s.wind_dir = 45.0;
+  s.m1 = 6.0;
+  s.m10 = 8.0;
+  s.m100 = 10.0;
+  s.mherb = 60.0;
+  return s;
+}
+
+void BM_PropagateUniform(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const FireSpreadModel model;
+  const FirePropagator propagator(model);
+  FireEnvironment env(size, size, 100.0);
+  const Scenario scenario = bench_scenario();
+  const std::vector<CellIndex> ignition{{size / 2, size / 2}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        propagator.propagate(env, scenario, ignition, 120.0));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_PropagateUniform)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PropagateHeterogeneous(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const FireSpreadModel model;
+  const FirePropagator propagator(model);
+  FireEnvironment env(size, size, 100.0);
+  // Checkerboard of grass and brush plus per-cell topography: the worst case
+  // for the behaviour cache.
+  Grid<std::uint8_t> fuel(size, size, 1);
+  Grid<double> slope(size, size, 10.0);
+  Grid<double> aspect(size, size, 0.0);
+  for (int r = 0; r < size; ++r) {
+    for (int c = 0; c < size; ++c) {
+      fuel(r, c) = (r + c) % 2 == 0 ? 1 : 5;
+      aspect(r, c) = (r * 31 + c * 17) % 360;
+    }
+  }
+  env.set_fuel_map(std::move(fuel));
+  env.set_topography(std::move(slope), std::move(aspect));
+  const Scenario scenario = bench_scenario();
+  const std::vector<CellIndex> ignition{{size / 2, size / 2}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        propagator.propagate(env, scenario, ignition, 120.0));
+  }
+}
+BENCHMARK(BM_PropagateHeterogeneous)->Arg(32)->Arg(64);
+
+void BM_BurnedMask(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const FireSpreadModel model;
+  const FirePropagator propagator(model);
+  FireEnvironment env(size, size, 100.0);
+  const auto map = propagator.propagate(env, bench_scenario(),
+                                        {{size / 2, size / 2}}, 120.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(burned_mask(map, 60.0));
+  }
+}
+BENCHMARK(BM_BurnedMask)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// EXP-B3 — pipeline-stage micro-benchmarks: the Statistical Stage
+// aggregation, the Calibration Stage threshold search, and the dispatch
+// overhead of the Master/Worker and thread-pool substrates.
+#include <benchmark/benchmark.h>
+
+#include "ess/calibration.hpp"
+#include "ess/fitness.hpp"
+#include "ess/statistical.hpp"
+#include "parallel/master_worker.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace essns;
+
+std::vector<firelib::IgnitionMap> synthetic_maps(int count, int size,
+                                                 Rng& rng) {
+  std::vector<firelib::IgnitionMap> maps;
+  for (int m = 0; m < count; ++m) {
+    firelib::IgnitionMap map(size, size, firelib::kNeverIgnited);
+    for (auto& t : map)
+      if (rng.bernoulli(0.5)) t = rng.uniform(0.0, 120.0);
+    maps.push_back(std::move(map));
+  }
+  return maps;
+}
+
+void BM_StatisticalStageAggregate(benchmark::State& state) {
+  Rng rng(1);
+  const auto maps = synthetic_maps(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ess::aggregate_probability(maps, 60.0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StatisticalStageAggregate)
+    ->Args({16, 64})
+    ->Args({64, 64})
+    ->Args({16, 128});
+
+void BM_KignSearch(benchmark::State& state) {
+  Rng rng(2);
+  const auto maps = synthetic_maps(16, 64, rng);
+  const auto probability = ess::aggregate_probability(maps, 60.0);
+  const auto real = firelib::burned_mask(maps.front(), 60.0);
+  const Grid<std::uint8_t> preburned(64, 64, 0);
+  const int candidates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ess::search_kign(probability, real, preburned, candidates));
+  }
+}
+BENCHMARK(BM_KignSearch)->Arg(20)->Arg(100);
+
+void BM_Jaccard(benchmark::State& state) {
+  Rng rng(3);
+  const int size = static_cast<int>(state.range(0));
+  Grid<std::uint8_t> a(size, size, 0), b(size, size, 0), pre(size, size, 0);
+  for (auto& v : a) v = rng.bernoulli(0.5);
+  for (auto& v : b) v = rng.bernoulli(0.5);
+  for (auto& v : pre) v = rng.bernoulli(0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ess::jaccard(a, b, pre));
+  }
+}
+BENCHMARK(BM_Jaccard)->Arg(64)->Arg(256);
+
+void BM_MasterWorkerDispatchOverhead(benchmark::State& state) {
+  // Trivial tasks: measures pure scatter/gather cost per item.
+  parallel::MasterWorker<int, int> mw(
+      static_cast<unsigned>(state.range(0)),
+      [](unsigned, const int& x) { return x + 1; });
+  const std::vector<int> tasks(256, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mw.evaluate(tasks));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_MasterWorkerDispatchOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  parallel::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  std::vector<double> data(4096, 1.0);
+  for (auto _ : state) {
+    pool.parallel_for(data.size(), [&](std::size_t i) {
+      data[i] = data[i] * 1.000001 + 0.5;
+    });
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Deceptive-landscape demo: a minimal, fire-free illustration of why the
+// paper replaces the objective with novelty (§II-C).
+//
+// The trap landscape has a wide false peak (fitness 0.8) at the origin and
+// the true optimum (1.0) at the opposite corner; every gradient points the
+// wrong way. Watch a fitness-driven GA park on the false peak while the
+// NS-GA's bestSet finds the corner.
+#include <cstdio>
+
+#include "core/ns_ga.hpp"
+#include "ea/ga.hpp"
+#include "ea/landscapes.hpp"
+
+int main() {
+  using namespace essns;
+  namespace landscapes = ea::landscapes;
+
+  constexpr std::size_t kDim = 3;
+  constexpr int kGenerations = 100;
+  const auto evaluate = landscapes::batch(landscapes::deceptive_trap);
+
+  std::printf("deceptive trap, %zu-dimensional, %d generations, 5 seeds\n\n",
+              kDim, kGenerations);
+  std::printf("%-6s %-22s %-22s\n", "seed", "GA best (fitness-led)",
+              "NS-GA best (novelty-led)");
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng ga_rng(seed);
+    ea::GaConfig ga_cfg;
+    ga_cfg.population_size = 24;
+    ga_cfg.offspring_count = 24;
+    const ea::GaResult ga = ea::run_ga(ga_cfg, kDim, evaluate,
+                                       {kGenerations, 0.99}, ga_rng);
+
+    Rng ns_rng(seed);
+    core::NsGaConfig ns_cfg;
+    ns_cfg.population_size = 24;
+    ns_cfg.offspring_count = 24;
+    const core::NsGaResult ns =
+        core::run_ns_ga(ns_cfg, kDim, evaluate, {kGenerations, 0.99}, ns_rng,
+                        core::genotypic_distance);
+
+    std::printf("%-6llu %-22.3f %-22.3f\n",
+                static_cast<unsigned long long>(seed), ga.best.fitness,
+                ns.max_fitness);
+  }
+
+  std::printf(
+      "\nGA best hovers at ~0.8 (the deceptive attractor); NS-GA's bestSet\n"
+      "crosses 0.8 because novelty search never stops exploring. Run\n"
+      "bench/exp_deceptive for the 20-seed version with DE and hybrids.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// essns_cli: run any configured prediction system from key=value arguments
+// or a config file — the command-line front door to the library.
+//
+//   essns_cli method=ess-ns workload=wind_shift size=48 generations=25
+//   essns_cli @run.conf            (read keys from a file)
+//   essns_cli --help
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "ess/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace essns;
+
+  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+    std::printf(
+        "usage: essns_cli [key=value ...] [@config-file]\n\n"
+        "keys: workload size method seed generations fitness_threshold\n"
+        "      population offspring workers novelty_k islands\n"
+        "methods:");
+    for (const auto& m : ess::RunSpec::known_methods())
+      std::printf(" %s", m.c_str());
+    std::printf("\nworkloads: plains hills wind_shift\n");
+    return 0;
+  }
+
+  std::ostringstream config_text;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '@') {
+      std::ifstream file(argv[i] + 1);
+      if (!file) {
+        std::fprintf(stderr, "cannot open config file %s\n", argv[i] + 1);
+        return 1;
+      }
+      config_text << file.rdbuf() << '\n';
+    } else {
+      config_text << argv[i] << '\n';
+    }
+  }
+
+  ess::RunSpec spec;
+  try {
+    spec = ess::parse_run_spec(config_text.str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "config error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("running %s on %s (%dx%d), seed %llu, %d generations\n",
+              spec.method.c_str(), spec.workload.c_str(), spec.size, spec.size,
+              static_cast<unsigned long long>(spec.seed), spec.generations);
+
+  const ess::PipelineResult result = ess::run_spec(spec);
+
+  TextTable table(result.optimizer_name + " on " + spec.workload);
+  table.set_header({"predicted", "Kign", "calibration", "quality"});
+  for (const auto& step : result.steps) {
+    table.add_row({"t" + std::to_string(step.step), TextTable::num(step.kign, 2),
+                   TextTable::num(step.calibration_fitness),
+                   TextTable::num(step.prediction_quality)});
+  }
+  table.print();
+  std::printf("mean prediction quality: %.3f\n", result.mean_quality());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Island demo: the ESSIM two-level hierarchy (Monitor / Masters / Workers)
+// in isolation — several GA islands with ring migration searching one
+// Optimization Stage step, reported island by island.
+//
+// Also shows why the paper's ESS-NS dropped the islands: a single NS-GA
+// maintains comparable behavioural diversity without migration machinery.
+#include <cstdio>
+
+#include "core/ns_ga.hpp"
+#include "ess/essim.hpp"
+#include "ess/evaluator.hpp"
+#include "metrics/diversity.hpp"
+#include "synth/workloads.hpp"
+
+int main() {
+  using namespace essns;
+
+  synth::Workload workload = synth::make_plains(48);
+  Rng truth_rng(3);
+  const synth::GroundTruth truth = synth::generate_ground_truth(
+      workload.environment, workload.truth_config, truth_rng);
+  ess::ScenarioEvaluator evaluator(workload.environment);
+  evaluator.set_step({&truth.fire_lines[0], &truth.fire_lines[1], 0.0,
+                      truth.step_minutes});
+  auto evaluate = evaluator.batch_evaluator();
+
+  std::printf("ESSIM-EA island sweep (one OS step, 30 generations total):\n");
+  for (int islands : {1, 2, 4}) {
+    ess::IslandOptimizer::Options opt;
+    opt.islands = islands;
+    opt.migration_interval = 5;
+    opt.migrants = 2;
+    opt.ga.population_size = 24 / static_cast<std::size_t>(islands) < 4
+                                 ? 6
+                                 : 24 / static_cast<std::size_t>(islands);
+    opt.ga.offspring_count = opt.ga.population_size;
+    opt.ga.elite_count = 1;
+    ess::IslandOptimizer optimizer(opt);
+    Rng rng(11);
+    const auto out = optimizer.optimize(firelib::kParamCount, evaluate,
+                                        {30, 0.99}, rng);
+    ea::Population solutions = out.solutions;
+    std::printf(
+        "  %d island(s) x pop %zu : best fitness %.3f, solution diversity "
+        "%.3f, %zu evaluations\n",
+        islands, opt.ga.population_size, out.best.fitness,
+        metrics::genotypic_diversity(solutions), out.evaluations);
+  }
+
+  std::printf("\nSingle NS-GA (no islands), same budget:\n");
+  core::NsGaConfig ns;
+  ns.population_size = 24;
+  ns.offspring_count = 24;
+  Rng rng(11);
+  const auto result = core::run_ns_ga(ns, firelib::kParamCount, evaluate,
+                                      {30, 0.99}, rng);
+  ea::Population best_set = result.best_set;
+  std::printf(
+      "  best fitness %.3f, bestSet diversity %.3f, %zu evaluations\n",
+      result.max_fitness, metrics::genotypic_diversity(best_set),
+      result.evaluations);
+  std::printf(
+      "\nNS keeps the solution set spread out by construction, which is the\n"
+      "paper's §III-A argument for simplifying back to one Master/Worker\n"
+      "level.\n");
+  return 0;
+}

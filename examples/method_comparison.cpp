@@ -1,0 +1,75 @@
+// Method comparison: run every system the paper discusses — ESS (GA),
+// ESSIM-EA (islands), ESSIM-DE (+tuning) and ESS-NS — on the non-stationary
+// wind_shift case and print the per-step quality side by side.
+//
+// This is the miniature interactive version of bench/exp_quality_table.
+#include <cstdio>
+#include <memory>
+
+#include "common/table.hpp"
+#include "ess/essim.hpp"
+#include "ess/pipeline.hpp"
+#include "synth/workloads.hpp"
+
+int main() {
+  using namespace essns;
+
+  synth::Workload workload = synth::make_wind_shift(48);
+  Rng truth_rng(2022);
+  const synth::GroundTruth truth = synth::generate_ground_truth(
+      workload.environment, workload.truth_config, truth_rng);
+
+  std::vector<std::unique_ptr<ess::Optimizer>> optimizers;
+  {
+    ea::GaConfig ga;
+    ga.population_size = 20;
+    ga.offspring_count = 20;
+    optimizers.push_back(std::make_unique<ess::GaOptimizer>(ga));
+  }
+  {
+    ess::IslandOptimizer::Options island;
+    island.islands = 2;
+    island.ga.population_size = 10;
+    island.ga.offspring_count = 10;
+    island.ga.elite_count = 1;
+    optimizers.push_back(std::make_unique<ess::IslandOptimizer>(island));
+  }
+  {
+    ess::DeOptimizer::Options de;
+    de.de.population_size = 20;
+    de.with_tuning = true;
+    optimizers.push_back(std::make_unique<ess::DeOptimizer>(de));
+  }
+  {
+    core::NsGaConfig ns;
+    ns.population_size = 20;
+    ns.offspring_count = 20;
+    optimizers.push_back(std::make_unique<ess::NsGaOptimizer>(ns));
+  }
+
+  TextTable table("wind_shift case: prediction quality per step");
+  std::vector<std::string> header{"Method"};
+  for (int s = 2; s <= truth.steps(); ++s)
+    header.push_back("t" + std::to_string(s));
+  header.push_back("mean");
+  table.set_header(header);
+
+  for (auto& optimizer : optimizers) {
+    ess::PipelineConfig config;
+    config.stop = {15, 0.95};
+    ess::PredictionPipeline pipeline(workload.environment, truth, config);
+    Rng rng(2022);
+    const ess::PipelineResult result = pipeline.run(*optimizer, rng);
+    std::vector<std::string> row{result.optimizer_name};
+    for (const auto& step : result.steps)
+      row.push_back(TextTable::num(step.prediction_quality));
+    row.push_back(TextTable::num(result.mean_quality()));
+    table.add_row(row);
+  }
+  table.print();
+  std::printf(
+      "\nThe hidden scenario drifts every step (wind shift); methods that\n"
+      "converge to one scenario go stale, which is the paper's motivation\n"
+      "for accumulating diverse high-fitness scenarios in the bestSet.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "common/ascii_grid.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace essns {
+
+void write_ascii_grid(std::ostream& out, const Grid<double>& grid,
+                      double cell_size, double nodata) {
+  out << "ncols " << grid.cols() << '\n'
+      << "nrows " << grid.rows() << '\n'
+      << "xllcorner 0.0\n"
+      << "yllcorner 0.0\n"
+      << "cellsize " << cell_size << '\n'
+      << "NODATA_value " << nodata << '\n';
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      if (c) out << ' ';
+      out << grid(r, c);
+    }
+    out << '\n';
+  }
+}
+
+void write_ascii_grid(const std::string& path, const Grid<double>& grid,
+                      double cell_size, double nodata) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  write_ascii_grid(out, grid, cell_size, nodata);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+Grid<double> read_ascii_grid(std::istream& in) {
+  int ncols = -1, nrows = -1;
+  double cellsize = 1.0, nodata = -9999.0, xll = 0.0, yll = 0.0;
+  std::string key;
+  // Header: a fixed set of "key value" lines; order of optional keys is free.
+  for (int i = 0; i < 6; ++i) {
+    if (!(in >> key)) throw IoError("ascii grid: truncated header");
+    std::string lower;
+    for (char ch : key) lower += static_cast<char>(std::tolower(ch));
+    double value;
+    if (!(in >> value)) throw IoError("ascii grid: bad header value for " + key);
+    if (lower == "ncols") ncols = static_cast<int>(value);
+    else if (lower == "nrows") nrows = static_cast<int>(value);
+    else if (lower == "cellsize") cellsize = value;
+    else if (lower == "nodata_value") nodata = value;
+    else if (lower == "xllcorner") xll = value;
+    else if (lower == "yllcorner") yll = value;
+    else throw IoError("ascii grid: unknown header key " + key);
+  }
+  (void)cellsize; (void)nodata; (void)xll; (void)yll;
+  if (ncols <= 0 || nrows <= 0)
+    throw IoError("ascii grid: missing or invalid ncols/nrows");
+
+  Grid<double> grid(nrows, ncols);
+  for (int r = 0; r < nrows; ++r)
+    for (int c = 0; c < ncols; ++c)
+      if (!(in >> grid(r, c)))
+        throw IoError("ascii grid: truncated data section");
+  return grid;
+}
+
+Grid<double> read_ascii_grid(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  return read_ascii_grid(in);
+}
+
+}  // namespace essns

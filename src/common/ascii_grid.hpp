@@ -1,0 +1,26 @@
+// Minimal ESRI-style ASCII grid I/O for Grid<double>.
+//
+// Used by the examples to dump ignition-time and probability maps in a format
+// that GIS tools (and the original fireLib sample programs) understand.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/grid.hpp"
+
+namespace essns {
+
+/// Write `grid` as an ESRI ASCII grid (ncols/nrows header + rows of values).
+void write_ascii_grid(std::ostream& out, const Grid<double>& grid,
+                      double cell_size = 1.0, double nodata = -9999.0);
+
+/// Convenience overload writing to `path`; throws IoError on failure.
+void write_ascii_grid(const std::string& path, const Grid<double>& grid,
+                      double cell_size = 1.0, double nodata = -9999.0);
+
+/// Parse an ESRI ASCII grid. Throws IoError on malformed input.
+Grid<double> read_ascii_grid(std::istream& in);
+Grid<double> read_ascii_grid(const std::string& path);
+
+}  // namespace essns

@@ -1,0 +1,42 @@
+// Error handling primitives shared by all essns libraries.
+//
+// The library reports contract violations with exceptions derived from
+// essns::Error so callers can distinguish library failures from standard
+// library ones. ESSNS_REQUIRE is used for precondition checks on public API
+// boundaries; internal invariants use assert().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace essns {
+
+/// Base class for all errors thrown by the essns libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an I/O operation (map load/save, config parse) fails.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace essns
+
+/// Precondition check on public API boundaries. Always active (not tied to
+/// NDEBUG) because scenario/config values routinely come from user input.
+#define ESSNS_REQUIRE(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      throw ::essns::InvalidArgument(std::string("essns: ") + (msg) +  \
+                                     " [" #cond "]");                  \
+    }                                                                  \
+  } while (0)

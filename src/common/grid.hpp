@@ -1,0 +1,112 @@
+// Dense row-major 2-D grid, the storage type for every map in the system:
+// ignition-time maps, probability matrices, fuel mosaics, DEMs.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace essns {
+
+/// Row/column index pair. Row 0 is the "north" edge by convention.
+struct CellIndex {
+  int row = 0;
+  int col = 0;
+
+  friend bool operator==(const CellIndex&, const CellIndex&) = default;
+};
+
+/// Dense row-major 2-D array with bounds-checked accessors.
+///
+/// Grid is deliberately minimal: contiguous storage (so hot loops can walk
+/// data() linearly), checked at() for API boundaries and unchecked operator()
+/// for inner loops (assert-guarded in debug builds).
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+
+  Grid(int rows, int cols, T fill = T{})
+      : rows_(checked_dim(rows)), cols_(checked_dim(cols)),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              fill) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  bool in_bounds(int r, int c) const {
+    return r >= 0 && r < rows_ && c >= 0 && c < cols_;
+  }
+  bool in_bounds(CellIndex idx) const { return in_bounds(idx.row, idx.col); }
+
+  /// Unchecked element access for hot loops.
+  T& operator()(int r, int c) { return data_[index_of(r, c)]; }
+  const T& operator()(int r, int c) const { return data_[index_of(r, c)]; }
+  T& operator()(CellIndex idx) { return (*this)(idx.row, idx.col); }
+  const T& operator()(CellIndex idx) const { return (*this)(idx.row, idx.col); }
+
+  /// Bounds-checked element access; throws InvalidArgument when outside.
+  T& at(int r, int c) {
+    ESSNS_REQUIRE(in_bounds(r, c), "grid index out of bounds");
+    return data_[index_of(r, c)];
+  }
+  const T& at(int r, int c) const {
+    ESSNS_REQUIRE(in_bounds(r, c), "grid index out of bounds");
+    return data_[index_of(r, c)];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  void fill(const T& value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Number of cells for which pred(value) holds.
+  template <typename Pred>
+  std::size_t count_if(Pred pred) const {
+    return static_cast<std::size_t>(
+        std::count_if(data_.begin(), data_.end(), pred));
+  }
+
+  /// Linear cell index (row-major); inverse of cell_of().
+  std::size_t index_of(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(c);
+  }
+
+  CellIndex cell_of(std::size_t linear) const {
+    return CellIndex{static_cast<int>(linear / static_cast<std::size_t>(cols_)),
+                     static_cast<int>(linear % static_cast<std::size_t>(cols_))};
+  }
+
+  friend bool operator==(const Grid&, const Grid&) = default;
+
+ private:
+  static int checked_dim(int dim) {
+    ESSNS_REQUIRE(dim > 0, "grid dimensions must be positive");
+    return dim;
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// The eight neighbourhood offsets used by the fire propagator, ordered
+/// N, NE, E, SE, S, SW, W, NW.
+inline constexpr std::array<CellIndex, 8> kEightNeighbours = {{
+    {-1, 0}, {-1, 1}, {0, 1}, {1, 1}, {1, 0}, {1, -1}, {0, -1}, {-1, -1},
+}};
+
+}  // namespace essns

@@ -1,0 +1,53 @@
+// Small descriptive-statistics helpers shared by the metrics library and the
+// tuning operators (the ESSIM-DE IQR metric is built on these).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace essns {
+
+inline double mean(std::span<const double> xs) {
+  ESSNS_REQUIRE(!xs.empty(), "mean of empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+inline double variance(std::span<const double> xs) {
+  ESSNS_REQUIRE(xs.size() >= 2, "variance needs at least two samples");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+inline double stddev(std::span<const double> xs) {
+  return std::sqrt(variance(xs));
+}
+
+/// Linear-interpolated quantile (type-7, as in R/numpy). q in [0, 1].
+inline double quantile(std::vector<double> xs, double q) {
+  ESSNS_REQUIRE(!xs.empty(), "quantile of empty sample");
+  ESSNS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+inline double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+/// Interquartile range Q3 - Q1; the dispersion statistic used by the
+/// ESSIM-DE dynamic tuning metric (Caymes-Scutari et al., CACIC 2019).
+inline double iqr(const std::vector<double>& xs) {
+  return quantile(xs, 0.75) - quantile(xs, 0.25);
+}
+
+}  // namespace essns

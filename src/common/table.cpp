@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace essns {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  ESSNS_REQUIRE(header_.empty() || row.size() == header_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string TextTable::integer(long long value) { return std::to_string(value); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out += ' ' + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return out + '\n';
+  };
+
+  std::string rule = "+";
+  for (std::size_t w : widths) rule += std::string(w + 2, '-') + '+';
+  rule += '\n';
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  out += rule;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += rule;
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace essns

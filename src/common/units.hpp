@@ -1,0 +1,48 @@
+// Unit conversions.
+//
+// Like the original fireLib, the Rothermel kernel works internally in English
+// units (ft, lb, min, Btu); scenario inputs follow Table I of the paper
+// (mi/h wind, degrees, percent moistures). These helpers keep the conversion
+// factors in one place.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace essns::units {
+
+inline constexpr double kFeetPerMile = 5280.0;
+inline constexpr double kMinutesPerHour = 60.0;
+inline constexpr double kLbPerFt2PerTonPerAcre = 0.0459137;  // 2000/43560
+
+/// Miles per hour -> feet per minute (wind speed used by Rothermel).
+constexpr double mph_to_ft_per_min(double mph) {
+  return mph * kFeetPerMile / kMinutesPerHour;
+}
+
+constexpr double ft_per_min_to_mph(double fpm) {
+  return fpm * kMinutesPerHour / kFeetPerMile;
+}
+
+/// Tons per acre -> pounds per square foot (fuel loadings).
+constexpr double tons_per_acre_to_lb_per_ft2(double tpa) {
+  return tpa * kLbPerFt2PerTonPerAcre;
+}
+
+constexpr double degrees_to_radians(double deg) {
+  return deg * std::numbers::pi / 180.0;
+}
+
+constexpr double radians_to_degrees(double rad) {
+  return rad * 180.0 / std::numbers::pi;
+}
+
+/// Percent (0-100+) -> fraction (0-1+); moistures in Table I are percents.
+constexpr double percent_to_fraction(double pct) { return pct / 100.0; }
+
+/// Surface slope in degrees -> rise/run ratio (tan), as used by phi_s.
+inline double slope_degrees_to_ratio(double deg) {
+  return std::tan(degrees_to_radians(deg));
+}
+
+}  // namespace essns::units

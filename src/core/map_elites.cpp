@@ -1,0 +1,117 @@
+#include "core/map_elites.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "ea/operators.hpp"
+
+namespace essns::core {
+namespace {
+
+// Linear cell index of a descriptor, clamped into the configured bounds.
+std::size_t cell_of(const MapElitesConfig& config,
+                    const std::vector<double>& descriptor) {
+  std::size_t index = 0;
+  for (std::size_t d = 0; d < config.grid_dims.size(); ++d) {
+    const auto [lo, hi] = config.bounds[d];
+    const double clamped = std::clamp(descriptor[d], lo, hi);
+    const double unit = hi > lo ? (clamped - lo) / (hi - lo) : 0.0;
+    const int bins = config.grid_dims[d];
+    const int bin = std::min(bins - 1, static_cast<int>(unit * bins));
+    index = index * static_cast<std::size_t>(bins) +
+            static_cast<std::size_t>(bin);
+  }
+  return index;
+}
+
+}  // namespace
+
+MapElitesResult run_map_elites(const MapElitesConfig& config, std::size_t dim,
+                               const ea::BatchEvaluator& evaluate,
+                               const DescriptorFn& descriptor,
+                               const ea::StopCondition& stop, Rng& rng) {
+  ESSNS_REQUIRE(!config.grid_dims.empty(), "MAP-Elites needs a grid");
+  ESSNS_REQUIRE(config.grid_dims.size() == config.bounds.size(),
+                "grid dims and bounds must align");
+  for (int bins : config.grid_dims)
+    ESSNS_REQUIRE(bins >= 1, "each grid dimension needs >= 1 cell");
+  ESSNS_REQUIRE(static_cast<bool>(descriptor),
+                "MAP-Elites needs a descriptor function");
+  ESSNS_REQUIRE(config.initial_samples >= 1 && config.batch_size >= 1,
+                "sample sizes must be positive");
+
+  MapElitesResult result;
+  std::unordered_map<std::size_t, ea::Individual> grid;
+
+  auto place_batch = [&](std::vector<ea::Genome> genomes) {
+    const std::vector<double> fitness = evaluate(genomes);
+    ESSNS_REQUIRE(fitness.size() == genomes.size(),
+                  "evaluator must return one fitness per genome");
+    result.evaluations += genomes.size();
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      ea::Individual ind;
+      ind.genome = std::move(genomes[i]);
+      ind.fitness = fitness[i];
+      ind.descriptor = descriptor(ind.genome);
+      ESSNS_REQUIRE(ind.descriptor.size() == config.grid_dims.size(),
+                    "descriptor dimension must match the grid");
+      const std::size_t cell = cell_of(config, ind.descriptor);
+      auto it = grid.find(cell);
+      if (it == grid.end() || ind.fitness > it->second.fitness)
+        grid[cell] = std::move(ind);
+    }
+  };
+
+  // Bootstrap with random samples.
+  {
+    std::vector<ea::Genome> genomes;
+    for (std::size_t i = 0; i < config.initial_samples; ++i) {
+      ea::Genome g(dim);
+      for (double& v : g) v = rng.uniform();
+      genomes.push_back(std::move(g));
+    }
+    place_batch(std::move(genomes));
+  }
+
+  auto best_fitness = [&] {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto& [cell, ind] : grid) best = std::max(best, ind.fitness);
+    return best;
+  };
+
+  int iterations = 0;
+  while (!stop.done(iterations, best_fitness())) {
+    // Select random elites, mutate, re-place.
+    std::vector<const ea::Individual*> elites;
+    elites.reserve(grid.size());
+    for (const auto& [cell, ind] : grid) elites.push_back(&ind);
+    std::vector<ea::Genome> genomes;
+    for (std::size_t i = 0; i < config.batch_size; ++i) {
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(elites.size()) - 1));
+      ea::Genome child = elites[pick]->genome;
+      ea::gaussian_mutation(child, config.mutation_rate,
+                            config.mutation_sigma, rng);
+      genomes.push_back(std::move(child));
+    }
+    place_batch(std::move(genomes));
+    ++iterations;
+  }
+
+  std::size_t total_cells = 1;
+  for (int bins : config.grid_dims)
+    total_cells *= static_cast<std::size_t>(bins);
+  result.coverage =
+      static_cast<double>(grid.size()) / static_cast<double>(total_cells);
+  result.elites.reserve(grid.size());
+  for (auto& [cell, ind] : grid) result.elites.push_back(std::move(ind));
+  std::sort(result.elites.begin(), result.elites.end(),
+            [](const auto& a, const auto& b) { return a.fitness > b.fitness; });
+  result.max_fitness =
+      result.elites.empty() ? 0.0 : result.elites.front().fitness;
+  result.iterations = iterations;
+  return result;
+}
+
+}  // namespace essns::core

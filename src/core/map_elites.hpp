@@ -1,0 +1,42 @@
+// MAP-Elites (Mouret & Clune 2015, the paper's reference [35]): illuminate
+// the behaviour space by keeping the best individual per descriptor-space
+// cell. Included as the strongest of the quality-diversity alternatives the
+// paper positions novelty search against — its elite map is a natural
+// drop-in for the SS solution set, like NS-GA's bestSet.
+#pragma once
+
+#include <optional>
+
+#include "core/ns_ga.hpp"  // DescriptorFn
+#include "ea/individual.hpp"
+
+namespace essns::core {
+
+struct MapElitesConfig {
+  /// Cells per descriptor dimension; size defines descriptor dimensionality.
+  std::vector<int> grid_dims{10, 10};
+  /// Descriptor bounds per dimension (values clamp into these).
+  std::vector<std::pair<double, double>> bounds{{0.0, 1.0}, {0.0, 1.0}};
+  std::size_t initial_samples = 64;  ///< random bootstrap evaluations
+  std::size_t batch_size = 32;       ///< evaluations per iteration
+  double mutation_rate = 0.3;
+  double mutation_sigma = 0.1;
+};
+
+struct MapElitesResult {
+  std::vector<ea::Individual> elites;  ///< occupied cells, best-per-cell
+  double coverage = 0.0;               ///< occupied / total cells
+  double max_fitness = 0.0;
+  int iterations = 0;
+  std::size_t evaluations = 0;
+};
+
+/// Run MAP-Elites: maximize `evaluate` over [0,1]^dim, organizing elites by
+/// `descriptor`. Stops on `stop` (max_generations = iterations; the fitness
+/// threshold applies to the best elite).
+MapElitesResult run_map_elites(const MapElitesConfig& config, std::size_t dim,
+                               const ea::BatchEvaluator& evaluate,
+                               const DescriptorFn& descriptor,
+                               const ea::StopCondition& stop, Rng& rng);
+
+}  // namespace essns::core

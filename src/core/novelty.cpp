@@ -1,0 +1,83 @@
+#include "core/novelty.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace essns::core {
+
+double fitness_distance(const ea::Individual& a, const ea::Individual& b) {
+  ESSNS_REQUIRE(a.evaluated() && b.evaluated(),
+                "fitness distance needs evaluated individuals");
+  return std::fabs(a.fitness - b.fitness);
+}
+
+double genotypic_distance(const ea::Individual& a, const ea::Individual& b) {
+  return ea::genome_distance(a.genome, b.genome);
+}
+
+double descriptor_distance(const ea::Individual& a, const ea::Individual& b) {
+  ESSNS_REQUIRE(!a.descriptor.empty() && a.descriptor.size() == b.descriptor.size(),
+                "descriptor distance needs equal-dimension descriptors");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.descriptor.size(); ++i) {
+    const double d = a.descriptor[i] - b.descriptor[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+BehaviorDistance blended_distance(double fitness_weight) {
+  ESSNS_REQUIRE(fitness_weight >= 0.0 && fitness_weight <= 1.0,
+                "blend weight in [0,1]");
+  return [fitness_weight](const ea::Individual& a, const ea::Individual& b) {
+    return fitness_weight * fitness_distance(a, b) +
+           (1.0 - fitness_weight) * genotypic_distance(a, b);
+  };
+}
+
+double novelty_score(const ea::Individual& x,
+                     std::span<const ea::Individual> reference, int k,
+                     const BehaviorDistance& dist) {
+  std::vector<double> distances;
+  distances.reserve(reference.size());
+  // Algorithm 1 scores each individual against noveltySet = population ∪
+  // offspring ∪ archive, which contains the individual itself. Skip exactly
+  // one self occurrence (by value, since noveltySet is a copy) so the
+  // individual's own zero distance does not consume one of the k slots.
+  bool skipped_self = false;
+  for (const ea::Individual& ref : reference) {
+    if (!skipped_self && &ref == &x) {
+      skipped_self = true;
+      continue;
+    }
+    if (!skipped_self && ref.evaluated() && x.evaluated() &&
+        ref.fitness == x.fitness && ref.genome == x.genome) {
+      skipped_self = true;
+      continue;
+    }
+    distances.push_back(dist(x, ref));
+  }
+  if (distances.empty()) return 0.0;
+
+  std::size_t kk = k <= 0 ? distances.size()
+                          : std::min<std::size_t>(static_cast<std::size_t>(k),
+                                                  distances.size());
+  std::partial_sort(distances.begin(),
+                    distances.begin() + static_cast<std::ptrdiff_t>(kk),
+                    distances.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kk; ++i) sum += distances[i];
+  return sum / static_cast<double>(kk);
+}
+
+void evaluate_novelty(std::span<ea::Individual> pop,
+                      std::span<const ea::Individual> reference, int k,
+                      const BehaviorDistance& dist) {
+  for (ea::Individual& ind : pop)
+    ind.novelty = novelty_score(ind, reference, k, dist);
+}
+
+}  // namespace essns::core

@@ -1,0 +1,60 @@
+// Novelty scoring — Eq. (1) and (2) of the paper.
+//
+// rho(x) = (1/k) * sum_{i=0}^{k-1} dist(x, mu_i)         (1)
+// with mu_i the i-th nearest neighbour of x in the reference set (current
+// population + offspring + archive), and the paper's behaviour distance
+// dist(x, mu) = fitness(x) - fitness(mu)                  (2)
+// taken in absolute value (a distance must be symmetric and non-negative;
+// the signed form in the paper is a typo — a k-NN search under a signed
+// "distance" would simply pick the worst-fitness individuals).
+//
+// Two alternative behaviour characterizations anticipated by the paper's
+// future-work section are provided: genotypic distance (Euclidean in genome
+// space) and a user-supplied behaviour-descriptor distance.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "ea/individual.hpp"
+
+namespace essns::core {
+
+/// Behaviour distance between two individuals; must be symmetric and >= 0.
+using BehaviorDistance =
+    std::function<double(const ea::Individual&, const ea::Individual&)>;
+
+/// Eq. (2): |fitness(x) - fitness(mu)| — the paper's distance.
+double fitness_distance(const ea::Individual& a, const ea::Individual& b);
+
+/// Euclidean distance between genomes (a genotypic variant).
+double genotypic_distance(const ea::Individual& a, const ea::Individual& b);
+
+/// Euclidean distance between behaviour descriptors (Individual::descriptor).
+/// Both individuals must carry descriptors of equal dimension — this is the
+/// "characterization of the behavior" distance of §II-C for richer,
+/// simulator-derived behaviour spaces (see ess::burn_descriptor).
+double descriptor_distance(const ea::Individual& a, const ea::Individual& b);
+
+/// Blend: w * fitness distance + (1 - w) * genotypic distance.
+BehaviorDistance blended_distance(double fitness_weight);
+
+/// Eq. (1): mean distance from `x` to its k nearest neighbours within
+/// `reference`. `x` itself is skipped when it appears in the reference set
+/// (identified by address), matching evaluateNovelty in Algorithm 1 where
+/// noveltySet contains the individual being scored.
+///
+/// k is clamped to the available neighbour count; k <= 0 selects the
+/// whole-reference-set variant mentioned in §II-C ("the entire population
+/// can also be used").
+double novelty_score(const ea::Individual& x,
+                     std::span<const ea::Individual> reference, int k,
+                     const BehaviorDistance& dist = fitness_distance);
+
+/// Scores every individual of `pop` against `reference` (Algorithm 1,
+/// lines 12-14), writing Individual::novelty in place.
+void evaluate_novelty(std::span<ea::Individual> pop,
+                      std::span<const ea::Individual> reference, int k,
+                      const BehaviorDistance& dist = fitness_distance);
+
+}  // namespace essns::core

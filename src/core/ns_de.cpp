@@ -1,0 +1,111 @@
+#include "core/ns_de.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ea/operators.hpp"
+
+namespace essns::core {
+
+NsDeResult run_ns_de(const NsDeConfig& config, std::size_t dim,
+                     const ea::BatchEvaluator& evaluate,
+                     const ea::StopCondition& stop, Rng& rng,
+                     const BehaviorDistance& dist,
+                     const ea::GenerationObserver& observer) {
+  ESSNS_REQUIRE(config.population_size >= 4,
+                "NS-DE needs at least 4 individuals");
+  ESSNS_REQUIRE(config.differential_weight > 0.0 &&
+                    config.differential_weight <= 2.0,
+                "NS-DE weight F in (0,2]");
+  ESSNS_REQUIRE(config.crossover_rate >= 0.0 && config.crossover_rate <= 1.0,
+                "NS-DE crossover rate in [0,1]");
+
+  NsDeResult result;
+  ea::Population pop = ea::random_population(config.population_size, dim, rng);
+  NoveltyArchive archive(config.archive, rng.split(0xde)());
+  BestSet best_set(config.best_set_capacity);
+
+  auto evaluate_all = [&](ea::Population& group) {
+    std::vector<ea::Genome> genomes;
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (!group[i].evaluated()) {
+        genomes.push_back(group[i].genome);
+        indices.push_back(i);
+      }
+    }
+    if (genomes.empty()) return;
+    const auto fitness = evaluate(genomes);
+    ESSNS_REQUIRE(fitness.size() == genomes.size(),
+                  "evaluator must return one fitness per genome");
+    for (std::size_t j = 0; j < indices.size(); ++j)
+      group[indices[j]].fitness = fitness[j];
+    result.evaluations += genomes.size();
+  };
+
+  evaluate_all(pop);
+  best_set.update(pop);
+
+  int generations = 0;
+  if (observer) observer(generations, pop);
+
+  const auto n = static_cast<std::int64_t>(config.population_size);
+  while (!stop.done(generations, best_set.max_fitness())) {
+    // DE/rand/1/bin trial construction (identical to ESSIM-DE's engine).
+    ea::Population trials(config.population_size);
+    for (std::size_t i = 0; i < config.population_size; ++i) {
+      std::size_t r1, r2, r3;
+      do { r1 = static_cast<std::size_t>(rng.uniform_int(0, n - 1)); }
+      while (r1 == i);
+      do { r2 = static_cast<std::size_t>(rng.uniform_int(0, n - 1)); }
+      while (r2 == i || r2 == r1);
+      do { r3 = static_cast<std::size_t>(rng.uniform_int(0, n - 1)); }
+      while (r3 == i || r3 == r1 || r3 == r2);
+
+      ea::Genome trial = pop[i].genome;
+      const auto forced = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(dim) - 1));
+      for (std::size_t j = 0; j < dim; ++j) {
+        if (j == forced || rng.bernoulli(config.crossover_rate)) {
+          const double v =
+              pop[r1].genome[j] +
+              config.differential_weight *
+                  (pop[r2].genome[j] - pop[r3].genome[j]);
+          trial[j] = ea::reflect_unit(v);
+        }
+      }
+      trials[i].genome = std::move(trial);
+    }
+    evaluate_all(trials);
+
+    // Novelty of targets and trials against pop ∪ trials ∪ archive.
+    std::vector<ea::Individual> novelty_set;
+    novelty_set.reserve(pop.size() + trials.size() + archive.size());
+    novelty_set.insert(novelty_set.end(), pop.begin(), pop.end());
+    novelty_set.insert(novelty_set.end(), trials.begin(), trials.end());
+    novelty_set.insert(novelty_set.end(), archive.items().begin(),
+                       archive.items().end());
+    evaluate_novelty(pop, novelty_set, config.novelty_k, dist);
+    evaluate_novelty(trials, novelty_set, config.novelty_k, dist);
+
+    archive.update(trials);
+    best_set.update(trials);
+
+    // Novelty-greedy one-to-one replacement: the DE analogue of Algorithm
+    // 1's replaceByNovelty.
+    for (std::size_t i = 0; i < config.population_size; ++i)
+      if (trials[i].novelty >= pop[i].novelty) pop[i] = std::move(trials[i]);
+
+    ++generations;
+    if (observer) observer(generations, pop);
+  }
+
+  result.best_set = best_set.items();
+  result.population = std::move(pop);
+  result.archive = archive.items();
+  result.max_fitness = best_set.max_fitness();
+  result.generations = generations;
+  return result;
+}
+
+}  // namespace essns::core

@@ -1,0 +1,41 @@
+// NS-DE: novelty-driven differential evolution — the §IV future-work variant
+// "switching the underlying metaheuristic and adapting its mechanisms".
+//
+// The skeleton is DE/rand/1/bin (the ESSIM-DE engine), but selection is the
+// novelty criterion of Eq. (1)/(2): a trial vector replaces its target when
+// it is *more novel*, never because it is fitter. As in Algorithm 1, fitness
+// only flows into the bestSet, which is the returned solution set.
+#pragma once
+
+#include "core/archive.hpp"
+#include "core/novelty.hpp"
+#include "ea/individual.hpp"
+
+namespace essns::core {
+
+struct NsDeConfig {
+  std::size_t population_size = 32;
+  double differential_weight = 0.7;  ///< F
+  double crossover_rate = 0.5;       ///< CR
+  int novelty_k = 10;                ///< k of Eq. (1); <= 0 = whole set
+  ArchiveConfig archive;
+  std::size_t best_set_capacity = 32;
+};
+
+/// Result shape shared with NS-GA (bestSet is the output).
+struct NsDeResult {
+  std::vector<ea::Individual> best_set;
+  ea::Population population;
+  std::vector<ea::Individual> archive;
+  double max_fitness = 0.0;
+  int generations = 0;
+  std::size_t evaluations = 0;
+};
+
+NsDeResult run_ns_de(const NsDeConfig& config, std::size_t dim,
+                     const ea::BatchEvaluator& evaluate,
+                     const ea::StopCondition& stop, Rng& rng,
+                     const BehaviorDistance& dist = fitness_distance,
+                     const ea::GenerationObserver& observer = nullptr);
+
+}  // namespace essns::core

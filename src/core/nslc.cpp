@@ -1,0 +1,187 @@
+#include "core/nslc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "ea/operators.hpp"
+
+namespace essns::core {
+namespace {
+
+void batch_evaluate(ea::Population& pop, const ea::BatchEvaluator& evaluate,
+                    std::size_t& evaluations) {
+  std::vector<ea::Genome> genomes;
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    if (!pop[i].evaluated()) {
+      genomes.push_back(pop[i].genome);
+      indices.push_back(i);
+    }
+  }
+  if (genomes.empty()) return;
+  const std::vector<double> fitness = evaluate(genomes);
+  ESSNS_REQUIRE(fitness.size() == genomes.size(),
+                "evaluator must return one fitness per genome");
+  for (std::size_t j = 0; j < indices.size(); ++j)
+    pop[indices[j]].fitness = fitness[j];
+  evaluations += genomes.size();
+}
+
+// Rank-normalized scores in [0,1]: 1 for the largest raw value.
+std::vector<double> rank_normalize(const std::vector<double>& raw) {
+  std::vector<std::size_t> order(raw.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return raw[a] < raw[b]; });
+  std::vector<double> out(raw.size(), 0.0);
+  if (raw.size() <= 1) return out;
+  for (std::size_t rank = 0; rank < order.size(); ++rank)
+    out[order[rank]] =
+        static_cast<double>(rank) / static_cast<double>(order.size() - 1);
+  return out;
+}
+
+}  // namespace
+
+double local_competition_score(const ea::Individual& x,
+                               std::span<const ea::Individual> reference,
+                               int k, const BehaviorDistance& dist) {
+  // Nearest behavioural neighbours, excluding one self copy (as in Eq. 1).
+  std::vector<std::pair<double, double>> neighbours;  // (distance, fitness)
+  bool skipped_self = false;
+  for (const ea::Individual& ref : reference) {
+    if (!skipped_self && ref.evaluated() && x.evaluated() &&
+        ref.fitness == x.fitness && ref.genome == x.genome) {
+      skipped_self = true;
+      continue;
+    }
+    neighbours.emplace_back(dist(x, ref), ref.fitness);
+  }
+  if (neighbours.empty()) return 0.0;
+  const std::size_t kk =
+      k <= 0 ? neighbours.size()
+             : std::min<std::size_t>(static_cast<std::size_t>(k),
+                                     neighbours.size());
+  std::partial_sort(neighbours.begin(),
+                    neighbours.begin() + static_cast<std::ptrdiff_t>(kk),
+                    neighbours.end());
+  std::size_t beaten = 0;
+  for (std::size_t i = 0; i < kk; ++i)
+    if (x.fitness > neighbours[i].second) ++beaten;
+  return static_cast<double>(beaten) / static_cast<double>(kk);
+}
+
+NslcResult run_nslc(const NslcConfig& config, std::size_t dim,
+                    const ea::BatchEvaluator& evaluate,
+                    const ea::StopCondition& stop, Rng& rng,
+                    const BehaviorDistance& dist) {
+  ESSNS_REQUIRE(config.population_size >= 2, "NSLC population >= 2");
+  ESSNS_REQUIRE(config.offspring_count >= 1, "NSLC offspring >= 1");
+
+  NslcResult result;
+  ea::Population population =
+      ea::random_population(config.population_size, dim, rng);
+  NoveltyArchive archive(config.archive, rng.split(0x1c)());
+  BestSet best_set(config.best_set_capacity);
+
+  batch_evaluate(population, evaluate, result.evaluations);
+  best_set.update(population);
+
+  int generations = 0;
+  while (!stop.done(generations, best_set.max_fitness())) {
+    // Combined novelty + local-competition selection score.
+    std::vector<ea::Individual> reference;
+    reference.reserve(population.size() + archive.size());
+    reference.insert(reference.end(), population.begin(), population.end());
+    reference.insert(reference.end(), archive.items().begin(),
+                     archive.items().end());
+
+    std::vector<double> novelty_raw(population.size());
+    std::vector<double> competition_raw(population.size());
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      population[i].novelty =
+          novelty_score(population[i], reference, config.novelty_k, dist);
+      novelty_raw[i] = population[i].novelty;
+      competition_raw[i] = local_competition_score(
+          population[i], reference, config.novelty_k, dist);
+    }
+    const auto novelty_rank = rank_normalize(novelty_raw);
+    const auto competition_rank = rank_normalize(competition_raw);
+    std::vector<double> scores(population.size());
+    for (std::size_t i = 0; i < population.size(); ++i)
+      scores[i] = novelty_rank[i] + competition_rank[i];
+
+    // Reproduce.
+    ea::Population offspring;
+    offspring.reserve(config.offspring_count);
+    while (offspring.size() < config.offspring_count) {
+      const std::size_t ia = ea::roulette_select(scores, rng);
+      const std::size_t ib = ea::roulette_select(scores, rng);
+      ea::Genome c1 = population[ia].genome;
+      ea::Genome c2 = population[ib].genome;
+      if (rng.bernoulli(config.crossover_rate))
+        std::tie(c1, c2) = ea::uniform_crossover(c1, c2, rng);
+      ea::gaussian_mutation(c1, config.mutation_rate, config.mutation_sigma,
+                            rng);
+      ea::gaussian_mutation(c2, config.mutation_rate, config.mutation_sigma,
+                            rng);
+      ea::Individual child1, child2;
+      child1.genome = std::move(c1);
+      child2.genome = std::move(c2);
+      offspring.push_back(std::move(child1));
+      if (offspring.size() < config.offspring_count)
+        offspring.push_back(std::move(child2));
+    }
+    batch_evaluate(offspring, evaluate, result.evaluations);
+
+    // Score offspring against population ∪ offspring ∪ archive.
+    std::vector<ea::Individual> full_reference;
+    full_reference.reserve(reference.size() + offspring.size());
+    full_reference.insert(full_reference.end(), reference.begin(),
+                          reference.end());
+    full_reference.insert(full_reference.end(), offspring.begin(),
+                          offspring.end());
+    evaluate_novelty(offspring, full_reference, config.novelty_k, dist);
+
+    archive.update(offspring);
+    best_set.update(offspring);
+
+    // Replacement: combined-rank elitism over the merged pool.
+    ea::Population pool;
+    pool.reserve(population.size() + offspring.size());
+    pool.insert(pool.end(), std::make_move_iterator(population.begin()),
+                std::make_move_iterator(population.end()));
+    pool.insert(pool.end(), std::make_move_iterator(offspring.begin()),
+                std::make_move_iterator(offspring.end()));
+    std::vector<double> pool_novelty(pool.size());
+    std::vector<double> pool_competition(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      pool_novelty[i] = pool[i].novelty;
+      pool_competition[i] =
+          local_competition_score(pool[i], pool, config.novelty_k, dist);
+    }
+    const auto pn = rank_normalize(pool_novelty);
+    const auto pc = rank_normalize(pool_competition);
+    std::vector<std::size_t> order(pool.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return pn[a] + pc[a] > pn[b] + pc[b];
+    });
+    ea::Population next;
+    next.reserve(config.population_size);
+    for (std::size_t i = 0; i < config.population_size; ++i)
+      next.push_back(std::move(pool[order[i]]));
+    population = std::move(next);
+
+    ++generations;
+  }
+
+  result.best_set = best_set.items();
+  result.population = std::move(population);
+  result.max_fitness = best_set.max_fitness();
+  result.generations = generations;
+  return result;
+}
+
+}  // namespace essns::core

@@ -1,0 +1,45 @@
+// Novelty Search with Local Competition (Lehman & Stanley 2011, the paper's
+// reference [26]): individuals are rewarded both for being novel and for
+// out-performing their behavioural neighbours. The canonical NSLC is
+// multi-objective; this implementation uses the common scalarized form —
+// selection score = normalized novelty rank + normalized local-competition
+// rank — which preserves the dynamics with a single-objective GA engine.
+#pragma once
+
+#include "core/archive.hpp"
+#include "core/novelty.hpp"
+#include "ea/individual.hpp"
+
+namespace essns::core {
+
+struct NslcConfig {
+  std::size_t population_size = 32;
+  std::size_t offspring_count = 32;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.1;
+  double mutation_sigma = 0.1;
+  int novelty_k = 10;  ///< neighbourhood for both novelty and competition
+  ArchiveConfig archive;
+  std::size_t best_set_capacity = 32;
+};
+
+struct NslcResult {
+  std::vector<ea::Individual> best_set;
+  ea::Population population;
+  double max_fitness = 0.0;
+  int generations = 0;
+  std::size_t evaluations = 0;
+};
+
+/// Local competition score of `x`: the fraction of its k nearest behavioural
+/// neighbours in `reference` whose fitness it beats. In [0, 1].
+double local_competition_score(const ea::Individual& x,
+                               std::span<const ea::Individual> reference,
+                               int k, const BehaviorDistance& dist);
+
+NslcResult run_nslc(const NslcConfig& config, std::size_t dim,
+                    const ea::BatchEvaluator& evaluate,
+                    const ea::StopCondition& stop, Rng& rng,
+                    const BehaviorDistance& dist = fitness_distance);
+
+}  // namespace essns::core

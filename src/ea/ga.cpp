@@ -1,0 +1,113 @@
+#include "ea/ga.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ea/operators.hpp"
+
+namespace essns::ea {
+namespace {
+
+std::vector<double> fitnesses_of(const Population& pop) {
+  std::vector<double> out(pop.size());
+  for (std::size_t i = 0; i < pop.size(); ++i) out[i] = pop[i].fitness;
+  return out;
+}
+
+void evaluate_population(Population& pop, const BatchEvaluator& evaluate,
+                         std::size_t& evaluations) {
+  std::vector<Genome> genomes;
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    if (!pop[i].evaluated()) {
+      genomes.push_back(pop[i].genome);
+      indices.push_back(i);
+    }
+  }
+  if (genomes.empty()) return;
+  const std::vector<double> fitness = evaluate(genomes);
+  ESSNS_REQUIRE(fitness.size() == genomes.size(),
+                "evaluator must return one fitness per genome");
+  for (std::size_t j = 0; j < indices.size(); ++j)
+    pop[indices[j]].fitness = fitness[j];
+  evaluations += genomes.size();
+}
+
+}  // namespace
+
+GaResult run_ga(const GaConfig& config, std::size_t dim,
+                const BatchEvaluator& evaluate, const StopCondition& stop,
+                Rng& rng, const GenerationObserver& observer,
+                const Population* initial) {
+  ESSNS_REQUIRE(config.population_size >= 2, "GA population >= 2");
+  ESSNS_REQUIRE(config.offspring_count >= 2, "GA offspring >= 2");
+  ESSNS_REQUIRE(config.elite_count < config.population_size,
+                "elite count must be below population size");
+  ESSNS_REQUIRE(!initial || initial->size() == config.population_size,
+                "initial population size must match config");
+
+  GaResult result;
+  Population pop =
+      initial ? *initial : random_population(config.population_size, dim, rng);
+  evaluate_population(pop, evaluate, result.evaluations);
+  result.best = pop[argmax_fitness(pop)];
+
+  int generation = 0;
+  if (observer) observer(generation, pop);
+
+  while (!stop.done(generation, result.best.fitness)) {
+    // --- Selection + reproduction (generateOffspring). ---
+    const std::vector<double> scores = fitnesses_of(pop);
+    Population offspring;
+    offspring.reserve(config.offspring_count);
+    while (offspring.size() < config.offspring_count) {
+      const std::size_t ia = roulette_select(scores, rng);
+      const std::size_t ib = roulette_select(scores, rng);
+      Genome c1 = pop[ia].genome;
+      Genome c2 = pop[ib].genome;
+      if (rng.bernoulli(config.crossover_rate))
+        std::tie(c1, c2) = uniform_crossover(c1, c2, rng);
+      gaussian_mutation(c1, config.mutation_rate, config.mutation_sigma, rng);
+      gaussian_mutation(c2, config.mutation_rate, config.mutation_sigma, rng);
+      Individual child1, child2;
+      child1.genome = std::move(c1);
+      child2.genome = std::move(c2);
+      offspring.push_back(std::move(child1));
+      if (offspring.size() < config.offspring_count)
+        offspring.push_back(std::move(child2));
+    }
+    evaluate_population(offspring, evaluate, result.evaluations);
+
+    // --- Elitist generational replacement: keep the elite parents, fill the
+    // rest with the best offspring. ---
+    std::sort(pop.begin(), pop.end(), [](const auto& a, const auto& b) {
+      return a.fitness > b.fitness;
+    });
+    std::sort(offspring.begin(), offspring.end(),
+              [](const auto& a, const auto& b) { return a.fitness > b.fitness; });
+    Population next;
+    next.reserve(config.population_size);
+    for (std::size_t i = 0; i < config.elite_count; ++i) next.push_back(pop[i]);
+    for (std::size_t i = 0;
+         i < offspring.size() && next.size() < config.population_size; ++i)
+      next.push_back(offspring[i]);
+    // Degenerate configs (few offspring): pad with best remaining parents.
+    for (std::size_t i = config.elite_count;
+         next.size() < config.population_size && i < pop.size(); ++i)
+      next.push_back(pop[i]);
+    pop = std::move(next);
+
+    const Individual& gen_best = pop[argmax_fitness(pop)];
+    if (!result.best.evaluated() || gen_best.fitness > result.best.fitness)
+      result.best = gen_best;
+
+    ++generation;
+    if (observer) observer(generation, pop);
+  }
+
+  result.population = std::move(pop);
+  result.generations = generation;
+  return result;
+}
+
+}  // namespace essns::ea

@@ -1,0 +1,83 @@
+#include "ea/landscapes.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace essns::ea::landscapes {
+
+double sphere(const Genome& x) {
+  ESSNS_REQUIRE(!x.empty(), "genome must be non-empty");
+  double acc = 0.0;
+  for (double g : x) acc += (g - 0.5) * (g - 0.5);
+  // Max squared distance from the center is 0.25 per gene.
+  return 1.0 - acc / (0.25 * static_cast<double>(x.size()));
+}
+
+double rastrigin(const Genome& x) {
+  ESSNS_REQUIRE(!x.empty(), "genome must be non-empty");
+  // Map [0,1] -> [-5.12, 5.12]; classic Rastrigin; rescale to maximize.
+  constexpr double kA = 10.0;
+  double acc = 0.0;
+  for (double g : x) {
+    const double z = (g - 0.5) * 10.24;
+    acc += z * z - kA * std::cos(2.0 * std::numbers::pi * z) + kA;
+  }
+  // Per-dimension worst case is ~ (5.12^2 + 2A); normalize to [0,1].
+  const double worst =
+      static_cast<double>(x.size()) * (5.12 * 5.12 + 2.0 * kA);
+  return 1.0 - acc / worst;
+}
+
+double deceptive_trap(const Genome& x) {
+  ESSNS_REQUIRE(!x.empty(), "genome must be non-empty");
+  // Trap on the genome MEAN, not per gene: a per-gene trap is separable and
+  // uniform crossover assembles its optimum easily (no deception for a GA
+  // with free mixing). On the mean, every point with m < 0.8 has its
+  // gradient pointing away from the global optimum and recombining two
+  // low-mean parents cannot raise the mean — deceptive for any operator.
+  double m = 0.0;
+  for (double g : x) m += g;
+  m /= static_cast<double>(x.size());
+  if (m >= 0.8) return (m - 0.8) / 0.2;
+  return 0.8 * (0.8 - m) / 0.8;
+}
+
+double two_peaks(const Genome& x) {
+  ESSNS_REQUIRE(!x.empty(), "genome must be non-empty");
+  const double g = x[0];
+  double value = 0.0;
+  if (g >= 0.9) {
+    value = 1.0;  // plateau of the narrow global peak
+  } else if (g >= 0.8) {
+    value = (g - 0.8) / 0.1;  // steep approach to the global peak
+  } else {
+    // Wide local peak centered at 0.2 with height 0.7.
+    const double d = std::fabs(g - 0.2);
+    value = 0.7 * std::exp(-d * d / (2.0 * 0.15 * 0.15));
+  }
+  return value;
+}
+
+BatchEvaluator batch(double (*fn)(const Genome&)) {
+  return [fn](const std::vector<Genome>& genomes) {
+    std::vector<double> out;
+    out.reserve(genomes.size());
+    for (const Genome& g : genomes) out.push_back(fn(g));
+    return out;
+  };
+}
+
+BatchEvaluator counting_batch(double (*fn)(const Genome&),
+                              std::size_t* counter) {
+  return [fn, counter](const std::vector<Genome>& genomes) {
+    *counter += genomes.size();
+    std::vector<double> out;
+    out.reserve(genomes.size());
+    for (const Genome& g : genomes) out.push_back(fn(g));
+    return out;
+  };
+}
+
+}  // namespace essns::ea::landscapes

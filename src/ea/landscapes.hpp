@@ -1,0 +1,44 @@
+// Synthetic fitness landscapes on [0,1]^d used to validate the search
+// algorithms independently of the fire simulator — in particular the
+// deceptive trap on which the paper's §II-C argument predicts novelty search
+// to dominate objective-driven search. All functions are maximized, with a
+// known global optimum of value 1.0.
+#pragma once
+
+#include <cstddef>
+
+#include "ea/individual.hpp"
+
+namespace essns::ea::landscapes {
+
+/// Concave sphere: 1 at the center (0.5, ..., 0.5), decreasing outward.
+/// The easiest possible landscape — every algorithm must solve it.
+double sphere(const Genome& x);
+
+/// Rastrigin-style multimodal landscape rescaled to [0,1]^d, maximum 1.0 at
+/// the center; many regularly-spaced local optima.
+double rastrigin(const Genome& x);
+
+/// Deceptive trap on the genome mean m:
+///   m >= 0.8 : (m - 0.8) / 0.2          (true peak, value 1 at all-ones)
+///   m <  0.8 : 0.8 * (0.8 - m) / 0.8    (deceptive slope, local peak 0.8
+///                                        at all-zeros)
+/// The gradient almost everywhere points away from the global optimum and
+/// the structure is non-separable (crossover cannot assemble it) — the
+/// canonical deceptive fitness landscape (Goldberg) that §II-C argues
+/// defeats objective-driven search.
+double deceptive_trap(const Genome& x);
+
+/// Two-peaks ridge: narrow global peak (value 1) at x1 = 0.9..1, wide local
+/// peak (value 0.7) around x1 = 0.2; other dimensions neutral. Models a
+/// fitness function whose basin of attraction for the optimum is tiny.
+double two_peaks(const Genome& x);
+
+/// Wrap a plain function into a BatchEvaluator.
+BatchEvaluator batch(double (*fn)(const Genome&));
+
+/// Batch evaluator that counts invocations (for evaluation-budget tests).
+BatchEvaluator counting_batch(double (*fn)(const Genome&),
+                              std::size_t* counter);
+
+}  // namespace essns::ea::landscapes

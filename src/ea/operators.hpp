@@ -1,0 +1,44 @@
+// Genetic operators on normalized genomes.
+//
+// The paper's NS-GA uses roulette-wheel selection, conventional crossover and
+// mutation, and novelty-elitist replacement; ESS/ESSIM-EA use the same
+// operators driven by fitness. All operators keep genes inside [0,1]
+// (mutation reflects at the boundaries).
+#pragma once
+
+#include <span>
+
+#include "ea/individual.hpp"
+
+namespace essns::ea {
+
+/// Roulette-wheel (fitness-proportionate) selection over `scores`.
+/// Scores may be any non-negative values (fitness for GA, novelty for NS-GA);
+/// negative scores are shifted so the minimum maps to zero. When all scores
+/// are equal the draw is uniform. Returns an index into `scores`.
+std::size_t roulette_select(std::span<const double> scores, Rng& rng);
+
+/// k-tournament selection: best of `k` uniform draws (ties keep first).
+std::size_t tournament_select(std::span<const double> scores, int k, Rng& rng);
+
+/// Uniform crossover: each gene independently swaps with probability 0.5.
+std::pair<Genome, Genome> uniform_crossover(const Genome& a, const Genome& b,
+                                            Rng& rng);
+
+/// BLX-alpha blend crossover: children drawn uniformly from the interval
+/// spanned by the parents, extended by alpha on both sides, clamped to [0,1].
+std::pair<Genome, Genome> blx_crossover(const Genome& a, const Genome& b,
+                                        double alpha, Rng& rng);
+
+/// Per-gene gaussian mutation with probability `rate`; sigma in genome units.
+/// Values are reflected back into [0,1] (circular genes are handled at
+/// decode time by ScenarioSpace, which wraps instead of clamping).
+void gaussian_mutation(Genome& genome, double rate, double sigma, Rng& rng);
+
+/// Per-gene uniform reset mutation with probability `rate`.
+void uniform_reset_mutation(Genome& genome, double rate, Rng& rng);
+
+/// Reflect `value` into [0,1] (handles overshoot of any magnitude).
+double reflect_unit(double value);
+
+}  // namespace essns::ea

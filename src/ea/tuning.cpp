@@ -1,0 +1,80 @@
+#include "ea/tuning.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace essns::ea {
+
+StagnationMonitor::StagnationMonitor(int window, double epsilon)
+    : window_(window), epsilon_(epsilon),
+      last_best_(-std::numeric_limits<double>::infinity()) {
+  ESSNS_REQUIRE(window >= 1, "stagnation window >= 1");
+  ESSNS_REQUIRE(epsilon >= 0.0, "stagnation epsilon >= 0");
+}
+
+bool StagnationMonitor::update(double best_fitness) {
+  if (best_fitness > last_best_ + epsilon_) {
+    last_best_ = best_fitness;
+    stalled_ = 0;
+    return false;
+  }
+  last_best_ = std::max(last_best_, best_fitness);
+  return ++stalled_ >= window_;
+}
+
+void StagnationMonitor::reset() {
+  stalled_ = 0;
+  last_best_ = -std::numeric_limits<double>::infinity();
+}
+
+IqrMonitor::IqrMonitor(double threshold) : threshold_(threshold) {
+  ESSNS_REQUIRE(threshold >= 0.0, "IQR threshold >= 0");
+}
+
+bool IqrMonitor::collapsed(const Population& pop) const {
+  if (pop.size() < 4) return false;
+  std::vector<double> fitness;
+  fitness.reserve(pop.size());
+  for (const Individual& ind : pop)
+    if (ind.evaluated()) fitness.push_back(ind.fitness);
+  if (fitness.size() < 4) return false;
+  last_iqr_ = iqr(fitness);
+  return last_iqr_ < threshold_;
+}
+
+void restart_population(Population& pop, std::size_t keep, Rng& rng) {
+  ESSNS_REQUIRE(keep <= pop.size(), "cannot keep more than the population");
+  if (pop.empty()) return;
+  std::sort(pop.begin(), pop.end(), [](const auto& a, const auto& b) {
+    return a.fitness > b.fitness;
+  });
+  for (std::size_t i = keep; i < pop.size(); ++i) {
+    for (double& g : pop[i].genome) g = rng.uniform();
+    pop[i].fitness = std::numeric_limits<double>::quiet_NaN();
+    pop[i].novelty = 0.0;
+  }
+}
+
+TuningHook make_essim_de_tuning(int stagnation_window, double epsilon,
+                                double iqr_threshold, std::size_t keep,
+                                Rng& rng) {
+  // Monitors live as shared state inside the hook closure.
+  auto stagnation =
+      std::make_shared<StagnationMonitor>(stagnation_window, epsilon);
+  auto iqr_monitor = std::make_shared<IqrMonitor>(iqr_threshold);
+  Rng* rng_ptr = &rng;
+  return [stagnation, iqr_monitor, keep, rng_ptr](int, Population& pop) {
+    const bool stalled = stagnation->update(max_fitness(pop));
+    const bool collapsed = iqr_monitor->collapsed(pop);
+    if (!stalled && !collapsed) return false;
+    restart_population(pop, keep, *rng_ptr);
+    stagnation->reset();
+    return true;
+  };
+}
+
+}  // namespace essns::ea

@@ -1,0 +1,60 @@
+// Automatic/dynamic tuning operators developed for ESSIM-DE (§II-B of the
+// paper): a population-restart operator (Tardivo et al., CACIC 2017) and the
+// IQR-based dispersion metric (Caymes-Scutari et al., CACIC 2019). Both
+// mitigate premature convergence / stagnation in the fitness-driven
+// metaheuristics — the very issues the paper's novelty-search proposal is
+// designed to remove at the algorithmic level.
+#pragma once
+
+#include "ea/de.hpp"
+#include "ea/individual.hpp"
+
+namespace essns::ea {
+
+/// Detects stagnation of the best fitness: triggers when the best value has
+/// not improved by more than `epsilon` for `window` consecutive generations.
+class StagnationMonitor {
+ public:
+  StagnationMonitor(int window, double epsilon);
+
+  /// Feed the best fitness of the current generation; true when stalled.
+  bool update(double best_fitness);
+
+  void reset();
+  int stalled_generations() const { return stalled_; }
+
+ private:
+  int window_;
+  double epsilon_;
+  double last_best_;
+  int stalled_ = 0;
+};
+
+/// The ESSIM-DE IQR metric: population considered collapsed when the
+/// interquartile range of its fitness values falls below `threshold`.
+class IqrMonitor {
+ public:
+  explicit IqrMonitor(double threshold);
+
+  /// True when the fitness IQR of `pop` is below the threshold.
+  bool collapsed(const Population& pop) const;
+
+  double last_iqr() const { return last_iqr_; }
+
+ private:
+  double threshold_;
+  mutable double last_iqr_ = 0.0;
+};
+
+/// Population restart: re-randomize all but the `keep` best individuals.
+/// New individuals are left unevaluated (fitness NaN) so the caller's
+/// evaluation loop refreshes them.
+void restart_population(Population& pop, std::size_t keep, Rng& rng);
+
+/// Ready-made TuningHook combining both ESSIM-DE metrics: restart when
+/// stagnated or collapsed, keeping the best `keep` individuals.
+TuningHook make_essim_de_tuning(int stagnation_window, double epsilon,
+                                double iqr_threshold, std::size_t keep,
+                                Rng& rng);
+
+}  // namespace essns::ea

@@ -1,0 +1,78 @@
+#include "ess/analysis.hpp"
+
+#include "common/error.hpp"
+
+namespace essns::ess {
+
+std::vector<CellIndex> fire_perimeter(const firelib::IgnitionMap& map,
+                                      double time_min) {
+  std::vector<CellIndex> perimeter;
+  for (int r = 0; r < map.rows(); ++r) {
+    for (int c = 0; c < map.cols(); ++c) {
+      if (map(r, c) > time_min) continue;  // unburned
+      bool exposed = false;
+      for (const auto& d : kEightNeighbours) {
+        const int nr = r + d.row, nc = c + d.col;
+        if (!map.in_bounds(nr, nc) || map(nr, nc) > time_min) {
+          exposed = true;
+          break;
+        }
+      }
+      if (exposed) perimeter.push_back({r, c});
+    }
+  }
+  return perimeter;
+}
+
+double perimeter_length_ft(const firelib::IgnitionMap& map, double time_min,
+                           double cell_size_ft) {
+  ESSNS_REQUIRE(cell_size_ft > 0.0, "cell size must be positive");
+  // Count 4-neighbour edges between burned and unburned/off-map cells.
+  static constexpr std::array<CellIndex, 4> kFour = {{
+      {-1, 0}, {0, 1}, {1, 0}, {0, -1},
+  }};
+  std::size_t edges = 0;
+  for (int r = 0; r < map.rows(); ++r) {
+    for (int c = 0; c < map.cols(); ++c) {
+      if (map(r, c) > time_min) continue;
+      for (const auto& d : kFour) {
+        const int nr = r + d.row, nc = c + d.col;
+        if (!map.in_bounds(nr, nc) || map(nr, nc) > time_min) ++edges;
+      }
+    }
+  }
+  return static_cast<double>(edges) * cell_size_ft;
+}
+
+double burned_area_acres(const firelib::IgnitionMap& map, double time_min,
+                         double cell_size_ft) {
+  ESSNS_REQUIRE(cell_size_ft > 0.0, "cell size must be positive");
+  const double cells =
+      static_cast<double>(firelib::burned_count(map, time_min));
+  return cells * cell_size_ft * cell_size_ft / 43560.0;
+}
+
+double sorensen(const Grid<std::uint8_t>& real_burned,
+                const Grid<std::uint8_t>& simulated_burned,
+                const Grid<std::uint8_t>& preburned) {
+  ESSNS_REQUIRE(real_burned.rows() == simulated_burned.rows() &&
+                    real_burned.cols() == simulated_burned.cols() &&
+                    real_burned.rows() == preburned.rows() &&
+                    real_burned.cols() == preburned.cols(),
+                "sorensen masks must share dimensions");
+  std::size_t intersection = 0, size_a = 0, size_b = 0;
+  const std::size_t n = real_burned.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (preburned.data()[i]) continue;
+    const bool in_a = real_burned.data()[i] != 0;
+    const bool in_b = simulated_burned.data()[i] != 0;
+    size_a += in_a;
+    size_b += in_b;
+    intersection += in_a && in_b;
+  }
+  if (size_a + size_b == 0) return 1.0;
+  return 2.0 * static_cast<double>(intersection) /
+         static_cast<double>(size_a + size_b);
+}
+
+}  // namespace essns::ess

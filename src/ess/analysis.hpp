@@ -1,0 +1,31 @@
+// Burn-map analysis utilities: perimeter extraction, area/perimeter
+// statistics and the Sørensen-Dice similarity — the quantities fire-science
+// evaluations report alongside the Jaccard index of Eq. (3).
+#pragma once
+
+#include "common/grid.hpp"
+#include "firelib/propagator.hpp"
+
+namespace essns::ess {
+
+/// Cells burned at `time_min` that touch (8-neighbourhood) an unburned or
+/// off-map cell — the fire line as a cell set.
+std::vector<CellIndex> fire_perimeter(const firelib::IgnitionMap& map,
+                                      double time_min);
+
+/// Perimeter length in feet: exposed 4-neighbour edges x cell size.
+double perimeter_length_ft(const firelib::IgnitionMap& map, double time_min,
+                           double cell_size_ft);
+
+/// Burned area in acres (43560 ft^2 / acre).
+double burned_area_acres(const firelib::IgnitionMap& map, double time_min,
+                         double cell_size_ft);
+
+/// Sørensen-Dice coefficient 2|A∩B| / (|A|+|B|) over burned masks, excluding
+/// preburned cells; the companion similarity to Eq. (3)'s Jaccard
+/// (monotonically related: S = 2J / (1 + J)).
+double sorensen(const Grid<std::uint8_t>& real_burned,
+                const Grid<std::uint8_t>& simulated_burned,
+                const Grid<std::uint8_t>& preburned);
+
+}  // namespace essns::ess

@@ -1,0 +1,61 @@
+#include "ess/behavior.hpp"
+
+namespace essns::ess {
+
+std::vector<double> burn_descriptor(const firelib::IgnitionMap& simulated,
+                                    double time_min,
+                                    const firelib::IgnitionMap& start,
+                                    double start_time) {
+  ESSNS_REQUIRE(simulated.rows() == start.rows() &&
+                    simulated.cols() == start.cols(),
+                "descriptor maps must share dimensions");
+  const double rows = simulated.rows();
+  const double cols = simulated.cols();
+
+  auto centroid = [](const firelib::IgnitionMap& map, double t, double& row,
+                     double& col) {
+    double r_sum = 0.0, c_sum = 0.0;
+    std::size_t count = 0;
+    for (int r = 0; r < map.rows(); ++r) {
+      for (int c = 0; c < map.cols(); ++c) {
+        if (map(r, c) <= t) {
+          r_sum += r;
+          c_sum += c;
+          ++count;
+        }
+      }
+    }
+    if (count == 0) {
+      row = map.rows() / 2.0;
+      col = map.cols() / 2.0;
+      return;
+    }
+    row = r_sum / static_cast<double>(count);
+    col = c_sum / static_cast<double>(count);
+  };
+
+  double start_row, start_col, end_row, end_col;
+  centroid(start, start_time, start_row, start_col);
+  centroid(simulated, time_min, end_row, end_col);
+
+  const double burned_fraction =
+      static_cast<double>(firelib::burned_count(simulated, time_min)) /
+      (rows * cols);
+  return {burned_fraction, (end_row - start_row) / rows,
+          (end_col - start_col) / cols};
+}
+
+core::DescriptorFn make_burn_descriptor_fn(ScenarioEvaluator& evaluator,
+                                           const firelib::IgnitionMap& start,
+                                           double start_time, double end_time) {
+  ESSNS_REQUIRE(end_time > start_time, "descriptor interval must be positive");
+  const auto* start_map = &start;
+  auto* eval = &evaluator;
+  return [eval, start_map, start_time, end_time](const ea::Genome& genome) {
+    const auto scenario = firelib::ScenarioSpace::table1().decode(genome);
+    const auto map = eval->simulate(scenario, *start_map, end_time);
+    return burn_descriptor(map, end_time, *start_map, start_time);
+  };
+}
+
+}  // namespace essns::ess

@@ -1,0 +1,34 @@
+// Simulator-derived behaviour descriptors for novelty search.
+//
+// The paper's Eq. (2) characterizes a scenario's behaviour by its scalar
+// fitness. §II-C/§IV anticipate richer characterizations; the natural one in
+// this domain is the shape of the simulated burn itself. burn_descriptor
+// reduces an ignition map to three normalized features:
+//   [0] burned fraction of the map at the horizon,
+//   [1] burn-centroid row offset from the starting fire's centroid
+//       (normalized by map rows),
+//   [2] burn-centroid column offset (normalized by map cols).
+// Two scenarios that torch the same acreage in different directions — which
+// Eq. (2) cannot distinguish — are far apart in this space.
+#pragma once
+
+#include "core/ns_ga.hpp"
+#include "ess/evaluator.hpp"
+
+namespace essns::ess {
+
+/// Descriptor of a simulated map at `time_min`, relative to the fire state
+/// `start` at `start_time`.
+std::vector<double> burn_descriptor(const firelib::IgnitionMap& simulated,
+                                    double time_min,
+                                    const firelib::IgnitionMap& start,
+                                    double start_time);
+
+/// DescriptorFn plugging the burn descriptor into NS-GA: decodes the genome,
+/// re-simulates over the evaluator's current step, and reduces the map.
+/// Costs one extra simulation per evaluated individual.
+core::DescriptorFn make_burn_descriptor_fn(ScenarioEvaluator& evaluator,
+                                           const firelib::IgnitionMap& start,
+                                           double start_time, double end_time);
+
+}  // namespace essns::ess

@@ -1,0 +1,29 @@
+#include "ess/calibration.hpp"
+
+#include "common/error.hpp"
+#include "ess/fitness.hpp"
+#include "ess/statistical.hpp"
+
+namespace essns::ess {
+
+KignSearchResult search_kign(const Grid<double>& probability,
+                             const Grid<std::uint8_t>& real_burned,
+                             const Grid<std::uint8_t>& preburned,
+                             int candidates) {
+  ESSNS_REQUIRE(candidates >= 1, "need at least one threshold candidate");
+  KignSearchResult best;
+  best.fitness = -1.0;
+  for (int i = 1; i <= candidates; ++i) {
+    const double k = static_cast<double>(i) / static_cast<double>(candidates);
+    const Grid<std::uint8_t> predicted = apply_kign(probability, k);
+    const double fit = jaccard(real_burned, predicted, preburned);
+    if (fit > best.fitness) {
+      best.fitness = fit;
+      best.kign = k;
+    }
+    ++best.evaluated;
+  }
+  return best;
+}
+
+}  // namespace essns::ess

@@ -1,0 +1,205 @@
+#include "ess/config.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/ns_de.hpp"
+
+namespace essns::ess {
+namespace {
+
+// NS-DE packaged as an Optimizer (the §IV alternate-metaheuristic variant).
+class NsDeOptimizer final : public Optimizer {
+ public:
+  explicit NsDeOptimizer(core::NsDeConfig config) : config_(config) {}
+  std::string name() const override { return "ESS-NS(DE)"; }
+  OptimizationOutcome optimize(std::size_t dim,
+                               const ea::BatchEvaluator& evaluate,
+                               const ea::StopCondition& stop,
+                               Rng& rng) override {
+    core::NsDeResult r = core::run_ns_de(config_, dim, evaluate, stop, rng);
+    OptimizationOutcome out;
+    out.solutions = std::move(r.best_set);
+    if (!out.solutions.empty()) out.best = out.solutions.front();
+    out.generations = r.generations;
+    out.evaluations = r.evaluations;
+    return out;
+  }
+
+ private:
+  core::NsDeConfig config_;
+};
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+const std::vector<std::string>& RunSpec::known_methods() {
+  static const std::vector<std::string> methods{
+      "ess-ga",  "essim-ea", "essim-de", "essim-de-tuned",
+      "ess-ns",  "ns-de",    "essim-monitor"};
+  return methods;
+}
+
+RunSpec parse_run_spec(std::istream& in) {
+  RunSpec spec;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const auto eq = stripped.find('=');
+    ESSNS_REQUIRE(eq != std::string::npos,
+                  "config line " + std::to_string(line_number) +
+                      " is not key=value: " + stripped);
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    ESSNS_REQUIRE(!value.empty(), "config key '" + key + "' has empty value");
+
+    auto as_int = [&](int lo) {
+      std::size_t used = 0;
+      int v = 0;
+      try {
+        v = std::stoi(value, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      ESSNS_REQUIRE(used == value.size() && v >= lo,
+                    "bad integer for config key '" + key + "': " + value);
+      return v;
+    };
+    auto as_double = [&] {
+      std::size_t used = 0;
+      double v = 0.0;
+      try {
+        v = std::stod(value, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      ESSNS_REQUIRE(used == value.size(),
+                    "bad number for config key '" + key + "': " + value);
+      return v;
+    };
+
+    if (key == "workload") spec.workload = value;
+    else if (key == "size") spec.size = as_int(8);
+    else if (key == "method") spec.method = value;
+    else if (key == "seed") spec.seed = static_cast<std::uint64_t>(as_double());
+    else if (key == "generations") spec.generations = as_int(1);
+    else if (key == "fitness_threshold") spec.fitness_threshold = as_double();
+    else if (key == "population") spec.population = static_cast<std::size_t>(as_int(2));
+    else if (key == "offspring") spec.offspring = static_cast<std::size_t>(as_int(1));
+    else if (key == "workers") spec.workers = static_cast<unsigned>(as_int(1));
+    else if (key == "novelty_k") spec.novelty_k = as_int(0);
+    else if (key == "islands") spec.islands = as_int(1);
+    else throw InvalidArgument("unknown config key: " + key);
+  }
+  const auto& methods = RunSpec::known_methods();
+  ESSNS_REQUIRE(std::find(methods.begin(), methods.end(), spec.method) !=
+                    methods.end(),
+                "unknown method: " + spec.method);
+  ESSNS_REQUIRE(spec.workload == "plains" || spec.workload == "hills" ||
+                    spec.workload == "wind_shift",
+                "unknown workload: " + spec.workload);
+  return spec;
+}
+
+RunSpec parse_run_spec(const std::string& text) {
+  std::istringstream in(text);
+  return parse_run_spec(in);
+}
+
+synth::Workload make_workload(const RunSpec& spec) {
+  if (spec.workload == "hills") return synth::make_hills(spec.size);
+  if (spec.workload == "wind_shift") return synth::make_wind_shift(spec.size);
+  return synth::make_plains(spec.size);
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const RunSpec& spec) {
+  if (spec.method == "ess-ga") {
+    ea::GaConfig ga;
+    ga.population_size = spec.population;
+    ga.offspring_count = spec.offspring;
+    return std::make_unique<GaOptimizer>(ga);
+  }
+  if (spec.method == "essim-ea") {
+    IslandOptimizer::Options opt;
+    opt.islands = spec.islands;
+    opt.ga.population_size =
+        std::max<std::size_t>(4, spec.population / static_cast<std::size_t>(spec.islands));
+    opt.ga.offspring_count = opt.ga.population_size;
+    opt.ga.elite_count = 1;
+    return std::make_unique<IslandOptimizer>(opt);
+  }
+  if (spec.method == "essim-de" || spec.method == "essim-de-tuned") {
+    DeOptimizer::Options opt;
+    opt.de.population_size = spec.population;
+    opt.with_tuning = spec.method == "essim-de-tuned";
+    return std::make_unique<DeOptimizer>(opt);
+  }
+  if (spec.method == "ns-de") {
+    core::NsDeConfig cfg;
+    cfg.population_size = spec.population;
+    cfg.novelty_k = spec.novelty_k;
+    return std::make_unique<NsDeOptimizer>(cfg);
+  }
+  if (spec.method == "ess-ns") {
+    core::NsGaConfig cfg;
+    cfg.population_size = spec.population;
+    cfg.offspring_count = spec.offspring;
+    cfg.novelty_k = spec.novelty_k;
+    return std::make_unique<NsGaOptimizer>(cfg);
+  }
+  throw InvalidArgument("method '" + spec.method +
+                        "' is not an Optimizer (use run_spec)");
+}
+
+PipelineResult run_spec(const RunSpec& spec) {
+  synth::Workload workload = make_workload(spec);
+  Rng truth_rng(spec.seed);
+  const synth::GroundTruth truth = synth::generate_ground_truth(
+      workload.environment, workload.truth_config, truth_rng);
+  Rng rng(spec.seed ^ 0x5eedULL);
+
+  if (spec.method == "essim-monitor") {
+    EssimConfig config;
+    config.islands = spec.islands;
+    config.ga.population_size =
+        std::max<std::size_t>(4, spec.population / static_cast<std::size_t>(spec.islands));
+    config.ga.offspring_count = config.ga.population_size;
+    config.ga.elite_count = 1;
+    config.stop = {spec.generations, spec.fitness_threshold};
+    config.workers = spec.workers;
+    EssimSystem system(workload.environment, truth, config);
+    const EssimResult essim = system.run(rng);
+
+    PipelineResult out;
+    out.optimizer_name = "ESSIM(Monitor)";
+    for (const auto& step : essim.steps) {
+      StepReport report;
+      report.step = step.step;
+      report.kign = step.kign;
+      report.prediction_quality = step.prediction_quality;
+      report.calibration_fitness =
+          step.islands[static_cast<std::size_t>(step.selected_island)].fitness;
+      out.steps.push_back(report);
+    }
+    return out;
+  }
+
+  PipelineConfig config;
+  config.stop = {spec.generations, spec.fitness_threshold};
+  config.workers = spec.workers;
+  PredictionPipeline pipeline(workload.environment, truth, config);
+  auto optimizer = make_optimizer(spec);
+  return pipeline.run(*optimizer, rng);
+}
+
+}  // namespace essns::ess

@@ -1,0 +1,115 @@
+#include "ess/essim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ea/tuning.hpp"
+
+namespace essns::ess {
+
+IslandOptimizer::IslandOptimizer() : IslandOptimizer(Options{}) {}
+
+IslandOptimizer::IslandOptimizer(Options options) : options_(options) {
+  ESSNS_REQUIRE(options.islands >= 1, "need at least one island");
+  ESSNS_REQUIRE(options.migration_interval >= 1,
+                "migration interval must be >= 1 generation");
+  ESSNS_REQUIRE(options.migrants >= 0, "migrants must be non-negative");
+}
+
+OptimizationOutcome IslandOptimizer::optimize(
+    std::size_t dim, const ea::BatchEvaluator& evaluate,
+    const ea::StopCondition& stop, Rng& rng) {
+  const int islands = options_.islands;
+  const std::size_t pop_size = options_.inner == Inner::kGa
+                                   ? options_.ga.population_size
+                                   : options_.de.population_size;
+  ESSNS_REQUIRE(static_cast<std::size_t>(options_.migrants) < pop_size,
+                "migrants must be fewer than the island population");
+
+  // Monitor sends each island its initial information (independent streams).
+  std::vector<ea::Population> populations;
+  std::vector<Rng> streams;
+  populations.reserve(static_cast<std::size_t>(islands));
+  streams.reserve(static_cast<std::size_t>(islands));
+  for (int i = 0; i < islands; ++i) {
+    streams.push_back(rng.split(static_cast<std::uint64_t>(i) + 1));
+    populations.push_back(
+        ea::random_population(pop_size, dim, streams.back()));
+  }
+
+  OptimizationOutcome out;
+  out.best.fitness = -std::numeric_limits<double>::infinity();
+
+  int generations_done = 0;
+  while (generations_done < stop.max_generations &&
+         out.best.fitness < stop.fitness_threshold) {
+    const int round_gens = std::min(options_.migration_interval,
+                                    stop.max_generations - generations_done);
+    const ea::StopCondition round_stop{round_gens, stop.fitness_threshold};
+
+    // Each island Master evolves its population for one migration round.
+    for (int i = 0; i < islands; ++i) {
+      auto& pop = populations[static_cast<std::size_t>(i)];
+      auto& stream = streams[static_cast<std::size_t>(i)];
+      if (options_.inner == Inner::kGa) {
+        ea::GaResult r = ea::run_ga(options_.ga, dim, evaluate, round_stop,
+                                    stream, nullptr, &pop);
+        pop = std::move(r.population);
+        out.evaluations += r.evaluations;
+        if (r.best.fitness > out.best.fitness) out.best = r.best;
+      } else {
+        ea::TuningHook tuning;
+        if (options_.de_tuning)
+          tuning = ea::make_essim_de_tuning(8, 1e-4, 1e-3, 4, stream);
+        ea::DeResult r = ea::run_de(options_.de, dim, evaluate, round_stop,
+                                    stream, nullptr, tuning, &pop);
+        pop = std::move(r.population);
+        out.evaluations += r.evaluations;
+        if (r.best.fitness > out.best.fitness) out.best = r.best;
+      }
+    }
+    generations_done += round_gens;
+
+    // Ring migration: island i sends copies of its best `migrants` to
+    // island (i+1) mod n, replacing the destination's worst individuals.
+    if (options_.migrants > 0 && islands > 1 &&
+        generations_done < stop.max_generations) {
+      std::vector<std::vector<ea::Individual>> outbound(
+          static_cast<std::size_t>(islands));
+      for (int i = 0; i < islands; ++i) {
+        ea::Population sorted = populations[static_cast<std::size_t>(i)];
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.fitness > b.fitness;
+                  });
+        outbound[static_cast<std::size_t>(i)].assign(
+            sorted.begin(), sorted.begin() + options_.migrants);
+      }
+      for (int i = 0; i < islands; ++i) {
+        auto& dest = populations[static_cast<std::size_t>((i + 1) % islands)];
+        std::sort(dest.begin(), dest.end(), [](const auto& a, const auto& b) {
+          return a.fitness > b.fitness;
+        });
+        for (int m = 0; m < options_.migrants; ++m)
+          dest[dest.size() - 1 - static_cast<std::size_t>(m)] =
+              outbound[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
+      }
+    }
+  }
+
+  // Monitor selects the best island; its population is the solution set.
+  int best_island = 0;
+  double best_fit = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < islands; ++i) {
+    const double f = ea::max_fitness(populations[static_cast<std::size_t>(i)]);
+    if (f > best_fit) {
+      best_fit = f;
+      best_island = i;
+    }
+  }
+  out.solutions = std::move(populations[static_cast<std::size_t>(best_island)]);
+  out.generations = generations_done;
+  return out;
+}
+
+}  // namespace essns::ess

@@ -1,0 +1,57 @@
+// ESSIM island-model optimizer — the two-level hierarchical scheme of
+// ESSIM-EA / ESSIM-DE (§II-B): a Monitor over several islands, each island a
+// Master evolving its own population and periodically migrating individuals.
+//
+// Mapping to this implementation:
+//   * Monitor            -> IslandOptimizer::optimize (selects the best
+//                           island's results, as the Monitor "selects the
+//                           best candidate");
+//   * island Master      -> one inner GA/DE run per migration round, resumed
+//                           from the island's population;
+//   * migration          -> ring topology; each island sends copies of its
+//                           `migrants` best individuals to its successor,
+//                           replacing the successor's worst.
+//
+// The paper simplifies ESS-NS back to one level precisely because NS
+// maintains diversity without islands (§III-A); this class exists so the
+// quality experiments can compare against the hierarchical baselines.
+#pragma once
+
+#include "ess/optimizer.hpp"
+
+namespace essns::ess {
+
+class IslandOptimizer final : public Optimizer {
+ public:
+  enum class Inner { kGa, kDe };
+
+  struct Options {
+    int islands = 4;
+    int migration_interval = 5;  ///< generations between migrations
+    int migrants = 2;            ///< individuals sent per migration
+    Inner inner = Inner::kGa;
+    ea::GaConfig ga;             ///< per-island GA parameters
+    ea::DeConfig de;             ///< per-island DE parameters
+    bool de_tuning = false;      ///< ESSIM-DE+tuning inside each island
+  };
+
+  IslandOptimizer();
+  explicit IslandOptimizer(Options options);
+
+  std::string name() const override {
+    return options_.inner == Inner::kGa ? "ESSIM-EA" : "ESSIM-DE(islands)";
+  }
+
+  /// Runs all islands for `stop.max_generations` total generations (in
+  /// rounds of migration_interval). Returns the best island's final
+  /// population as the solution set, with `best` the overall best.
+  OptimizationOutcome optimize(std::size_t dim,
+                               const ea::BatchEvaluator& evaluate,
+                               const ea::StopCondition& stop,
+                               Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace essns::ess

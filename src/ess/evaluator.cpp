@@ -1,0 +1,68 @@
+#include "ess/evaluator.hpp"
+
+#include "common/error.hpp"
+
+namespace essns::ess {
+
+ScenarioEvaluator::ScenarioEvaluator(const firelib::FireEnvironment& env,
+                                     unsigned workers)
+    : env_(&env), propagator_(spread_model_) {
+  ESSNS_REQUIRE(workers >= 1, "need at least one worker");
+  if (workers > 1) {
+    pool_ = std::make_unique<parallel::MasterWorker<ea::Genome, double>>(
+        workers, [this](unsigned, const ea::Genome& genome) {
+          const auto scenario =
+              firelib::ScenarioSpace::table1().decode(genome);
+          return evaluate_scenario(scenario);
+        });
+  }
+}
+
+ScenarioEvaluator::~ScenarioEvaluator() = default;
+
+void ScenarioEvaluator::set_step(const StepContext& context) {
+  ESSNS_REQUIRE(context.start_map && context.target_map,
+                "step context maps must be set");
+  ESSNS_REQUIRE(context.end_time > context.start_time,
+                "step interval must have positive length");
+  context_ = context;
+}
+
+unsigned ScenarioEvaluator::workers() const {
+  return pool_ ? pool_->worker_count() : 1;
+}
+
+double ScenarioEvaluator::evaluate_scenario(
+    const firelib::Scenario& scenario) const {
+  ESSNS_REQUIRE(context_.start_map, "set_step must be called before evaluate");
+  const firelib::IgnitionMap simulated =
+      simulate(scenario, *context_.start_map, context_.end_time);
+  return jaccard_at(*context_.target_map, simulated, context_.end_time,
+                    context_.start_time);
+}
+
+firelib::IgnitionMap ScenarioEvaluator::simulate(
+    const firelib::Scenario& scenario, const firelib::IgnitionMap& start,
+    double end_time) const {
+  simulations_.fetch_add(1, std::memory_order_relaxed);
+  return propagator_.propagate(*env_, scenario, start, end_time);
+}
+
+std::vector<double> ScenarioEvaluator::evaluate_batch(
+    const std::vector<ea::Genome>& genomes) {
+  if (pool_) return pool_->evaluate(genomes);
+  std::vector<double> fitness;
+  fitness.reserve(genomes.size());
+  const auto& space = firelib::ScenarioSpace::table1();
+  for (const ea::Genome& genome : genomes)
+    fitness.push_back(evaluate_scenario(space.decode(genome)));
+  return fitness;
+}
+
+ea::BatchEvaluator ScenarioEvaluator::batch_evaluator() {
+  return [this](const std::vector<ea::Genome>& genomes) {
+    return evaluate_batch(genomes);
+  };
+}
+
+}  // namespace essns::ess

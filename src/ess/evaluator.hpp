@@ -1,0 +1,70 @@
+// ScenarioEvaluator: the bridge between the metaheuristics (which see
+// normalized genomes and fitness values) and the fire simulator (which sees
+// scenarios and ignition maps).
+//
+// This is the component the paper parallelizes: "parallelism will only be
+// implemented in the evaluation of the scenarios, i.e., in the simulation
+// process and subsequent computation of the fitness function" (§III-B).
+// With workers > 1 the batch is scattered over a MasterWorker (the Fig. 1/3
+// OS-Master -> OS-Worker message flow); with workers == 1 it runs inline.
+#pragma once
+
+#include <memory>
+
+#include "ea/individual.hpp"
+#include "ess/fitness.hpp"
+#include "firelib/environment.hpp"
+#include "firelib/propagator.hpp"
+#include "parallel/master_worker.hpp"
+
+namespace essns::ess {
+
+/// One prediction-step evaluation interval: simulate from `start_map`
+/// (fire state at t = start_time) until end_time, score against target_map.
+struct StepContext {
+  const firelib::IgnitionMap* start_map = nullptr;
+  const firelib::IgnitionMap* target_map = nullptr;
+  double start_time = 0.0;
+  double end_time = 0.0;
+};
+
+class ScenarioEvaluator {
+ public:
+  /// workers == 1: serial evaluation. workers > 1: persistent Master/Worker.
+  ScenarioEvaluator(const firelib::FireEnvironment& env, unsigned workers = 1);
+  ~ScenarioEvaluator();
+
+  ScenarioEvaluator(const ScenarioEvaluator&) = delete;
+  ScenarioEvaluator& operator=(const ScenarioEvaluator&) = delete;
+
+  /// Select the interval evaluated by subsequent batch calls.
+  void set_step(const StepContext& context);
+
+  /// BatchEvaluator view bound to this evaluator (valid while alive).
+  ea::BatchEvaluator batch_evaluator();
+
+  /// Fitness of one scenario on the current step.
+  double evaluate_scenario(const firelib::Scenario& scenario) const;
+
+  /// Simulated ignition map of `scenario` from `start` (state at
+  /// `start_time`) to `end_time` — used by the SS/PS stages to rebuild the
+  /// maps of the selected solution set.
+  firelib::IgnitionMap simulate(const firelib::Scenario& scenario,
+                                const firelib::IgnitionMap& start,
+                                double end_time) const;
+
+  unsigned workers() const;
+  std::size_t simulations_run() const { return simulations_.load(); }
+
+ private:
+  std::vector<double> evaluate_batch(const std::vector<ea::Genome>& genomes);
+
+  const firelib::FireEnvironment* env_;
+  firelib::FireSpreadModel spread_model_;
+  firelib::FirePropagator propagator_;
+  StepContext context_;
+  mutable std::atomic<std::size_t> simulations_{0};
+  std::unique_ptr<parallel::MasterWorker<ea::Genome, double>> pool_;
+};
+
+}  // namespace essns::ess

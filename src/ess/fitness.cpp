@@ -1,0 +1,42 @@
+#include "ess/fitness.hpp"
+
+#include "common/error.hpp"
+
+namespace essns::ess {
+
+double jaccard(const Grid<std::uint8_t>& real_burned,
+               const Grid<std::uint8_t>& simulated_burned,
+               const Grid<std::uint8_t>& preburned) {
+  ESSNS_REQUIRE(real_burned.rows() == simulated_burned.rows() &&
+                    real_burned.cols() == simulated_burned.cols() &&
+                    real_burned.rows() == preburned.rows() &&
+                    real_burned.cols() == preburned.cols(),
+                "jaccard masks must share dimensions");
+  std::size_t intersection = 0;
+  std::size_t set_union = 0;
+  const std::size_t n = real_burned.size();
+  const std::uint8_t* a = real_burned.data();
+  const std::uint8_t* b = simulated_burned.data();
+  const std::uint8_t* pre = preburned.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pre[i]) continue;
+    const bool in_a = a[i] != 0;
+    const bool in_b = b[i] != 0;
+    intersection += in_a && in_b;
+    set_union += in_a || in_b;
+  }
+  if (set_union == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(set_union);
+}
+
+double jaccard_at(const firelib::IgnitionMap& real_map,
+                  const firelib::IgnitionMap& simulated_map, double time_min,
+                  double preburned_time) {
+  ESSNS_REQUIRE(preburned_time <= time_min,
+                "preburned horizon must not exceed the comparison time");
+  return jaccard(firelib::burned_mask(real_map, time_min),
+                 firelib::burned_mask(simulated_map, time_min),
+                 firelib::burned_mask(real_map, preburned_time));
+}
+
+}  // namespace essns::ess

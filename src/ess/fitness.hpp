@@ -1,0 +1,29 @@
+// Prediction-quality fitness — Eq. (3) of the paper.
+//
+// fitness(A, B) = |A ∩ B| / |A ∪ B|  (Jaccard index), where A is the set of
+// really-burned cells and B the simulated/predicted burned cells, both
+// *excluding* the cells already burned before the simulation interval started
+// ("previously burned cells are not considered in order to avoid skewed
+// results"). Ranges over [0,1]; 1 is a perfect prediction.
+#pragma once
+
+#include "common/grid.hpp"
+#include "firelib/propagator.hpp"
+
+namespace essns::ess {
+
+/// Jaccard index between two burned masks, excluding cells marked in
+/// `preburned`. Returns 1.0 when both effective sets are empty (a vacuously
+/// perfect prediction) — this convention keeps early steps well-defined.
+double jaccard(const Grid<std::uint8_t>& real_burned,
+               const Grid<std::uint8_t>& simulated_burned,
+               const Grid<std::uint8_t>& preburned);
+
+/// Convenience for ignition-time maps: compares cells ignited by
+/// `time_min`, excluding cells already ignited by `preburned_time` in the
+/// real map (the fire state when the simulation started).
+double jaccard_at(const firelib::IgnitionMap& real_map,
+                  const firelib::IgnitionMap& simulated_map, double time_min,
+                  double preburned_time);
+
+}  // namespace essns::ess

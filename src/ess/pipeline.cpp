@@ -1,0 +1,121 @@
+#include "ess/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "ess/statistical.hpp"
+
+namespace essns::ess {
+
+double PipelineResult::mean_quality() const {
+  if (steps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : steps) sum += s.prediction_quality;
+  return sum / static_cast<double>(steps.size());
+}
+
+double PipelineResult::total_seconds() const {
+  double sum = 0.0;
+  for (const auto& s : steps) sum += s.elapsed_seconds;
+  return sum;
+}
+
+std::size_t PipelineResult::total_evaluations() const {
+  std::size_t sum = 0;
+  for (const auto& s : steps) sum += s.os_evaluations;
+  return sum;
+}
+
+PredictionPipeline::PredictionPipeline(const firelib::FireEnvironment& env,
+                                       const synth::GroundTruth& truth,
+                                       PipelineConfig config)
+    : env_(&env), truth_(&truth), config_(config),
+      last_probability_(env.rows(), env.cols(), 0.0),
+      last_prediction_(env.rows(), env.cols(), 0) {
+  ESSNS_REQUIRE(truth.steps() >= 2,
+                "pipeline needs >= 2 steps (calibration + prediction)");
+  ESSNS_REQUIRE(config.workers >= 1, "workers >= 1");
+}
+
+PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
+  PipelineResult result;
+  result.optimizer_name = optimizer.name();
+
+  ScenarioEvaluator evaluator(*env_, config_.workers);
+  const auto& space = firelib::ScenarioSpace::table1();
+  const auto& lines = truth_->fire_lines;
+
+  // Calibrate on [t_{n-1}, t_n], predict t_{n+1}; n runs to steps()-1.
+  for (int n = 1; n + 1 <= truth_->steps(); ++n) {
+    Stopwatch watch;
+    const auto un = static_cast<std::size_t>(n);
+    const double t_prev = truth_->time_of(n - 1);
+    const double t_now = truth_->time_of(n);
+    const double t_next = truth_->time_of(n + 1);
+
+    // --- Optimization Stage. ---
+    StepContext context{&lines[un - 1], &lines[un], t_prev, t_now};
+    evaluator.set_step(context);
+    auto batch = evaluator.batch_evaluator();
+    OptimizationOutcome outcome =
+        optimizer.optimize(firelib::kParamCount, batch, config_.stop, rng);
+    ESSNS_REQUIRE(!outcome.solutions.empty(),
+                  "optimizer returned an empty solution set");
+
+    // Cap the solution set (highest fitness first) so SS cost is bounded.
+    std::sort(outcome.solutions.begin(), outcome.solutions.end(),
+              [](const auto& a, const auto& b) { return a.fitness > b.fitness; });
+    if (outcome.solutions.size() > config_.max_solution_maps)
+      outcome.solutions.resize(config_.max_solution_maps);
+
+    // --- Statistical Stage (calibration side): maps over [t_{n-1}, t_n]. ---
+    std::vector<firelib::IgnitionMap> calibration_maps;
+    calibration_maps.reserve(outcome.solutions.size());
+    std::vector<firelib::Scenario> scenarios;
+    scenarios.reserve(outcome.solutions.size());
+    for (const auto& ind : outcome.solutions) {
+      scenarios.push_back(space.decode(ind.genome));
+      calibration_maps.push_back(
+          evaluator.simulate(scenarios.back(), lines[un - 1], t_now));
+    }
+    const Grid<double> probability_now =
+        aggregate_probability(calibration_maps, t_now);
+
+    // --- Calibration Stage: S_Kign against RFL_n. ---
+    const auto real_now = firelib::burned_mask(lines[un], t_now);
+    const auto preburned_now = firelib::burned_mask(lines[un - 1], t_prev);
+    const KignSearchResult kign =
+        search_kign(probability_now, real_now, preburned_now,
+                    config_.kign_candidates);
+
+    // --- Prediction Stage for t_{n+1} using Kign_n. ---
+    std::vector<firelib::IgnitionMap> prediction_maps;
+    prediction_maps.reserve(scenarios.size());
+    for (const auto& scenario : scenarios)
+      prediction_maps.push_back(
+          evaluator.simulate(scenario, lines[un], t_next));
+    last_probability_ = aggregate_probability(prediction_maps, t_next);
+    last_prediction_ = apply_kign(last_probability_, kign.kign);
+
+    const auto real_next = firelib::burned_mask(lines[un + 1], t_next);
+    const auto preburned_next = firelib::burned_mask(lines[un], t_now);
+    const double quality =
+        jaccard(real_next, last_prediction_, preburned_next);
+
+    StepReport report;
+    report.step = n + 1;
+    report.kign = kign.kign;
+    report.calibration_fitness = kign.fitness;
+    report.best_os_fitness = outcome.best.evaluated() ? outcome.best.fitness : 0;
+    report.prediction_quality = quality;
+    report.os_evaluations = outcome.evaluations;
+    report.os_generations = outcome.generations;
+    report.elapsed_seconds = watch.elapsed_seconds();
+    report.solution_count = scenarios.size();
+    result.steps.push_back(report);
+  }
+  return result;
+}
+
+}  // namespace essns::ess

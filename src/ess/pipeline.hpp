@@ -1,0 +1,78 @@
+// PredictionPipeline: the full multi-step predictive process of Fig. 1/2/3.
+//
+// Per prediction step n (n = 1 .. T-1), with fire lines RFL at instants t_i:
+//   OS : search scenarios over [t_{n-1}, t_n]; fitness of a scenario is
+//        Eq. (3) between its simulated map at t_n and RFL_n;
+//   SS : re-simulate the optimizer's solution set over the same interval and
+//        aggregate into the probability-of-ignition matrix;
+//   CS : S_Kign — search the threshold that best reproduces RFL_n (this is
+//        where Kign_n is born; Fig. 2 left box);
+//   PS : simulate the solution set forward from RFL_n to t_{n+1}, aggregate,
+//        threshold with Kign_n -> predicted fire line PFL_{n+1} (Fig. 2
+//        right box), scored against RFL_{n+1}.
+//
+// "The prediction cannot start at the first time instant" (§II-A): the first
+// usable prediction is for t_2, produced while calibrating on [t_0, t_1].
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "ess/calibration.hpp"
+#include "ess/evaluator.hpp"
+#include "ess/optimizer.hpp"
+#include "synth/ground_truth.hpp"
+
+namespace essns::ess {
+
+struct PipelineConfig {
+  ea::StopCondition stop{30, 0.95};  ///< per-step OS budget
+  int kign_candidates = 100;         ///< CS threshold grid resolution
+  unsigned workers = 1;              ///< OS-Worker count (1 = serial)
+  std::size_t max_solution_maps = 64;  ///< cap on maps aggregated by the SS
+};
+
+/// One predicted step (predicting t_{step} from data through t_{step-1}).
+struct StepReport {
+  int step = 0;                    ///< index of the predicted instant
+  double kign = 0.0;               ///< Key Ignition Value used
+  double calibration_fitness = 0;  ///< CS fitness on the calibration step
+  double best_os_fitness = 0.0;    ///< best scenario fitness found by the OS
+  double prediction_quality = 0;   ///< Eq. (3) of PFL_step vs RFL_step
+  std::size_t os_evaluations = 0;
+  int os_generations = 0;
+  double elapsed_seconds = 0.0;
+  std::size_t solution_count = 0;  ///< maps aggregated in the SS
+};
+
+struct PipelineResult {
+  std::string optimizer_name;
+  std::vector<StepReport> steps;
+
+  double mean_quality() const;
+  double total_seconds() const;
+  std::size_t total_evaluations() const;
+};
+
+class PredictionPipeline {
+ public:
+  PredictionPipeline(const firelib::FireEnvironment& env,
+                     const synth::GroundTruth& truth, PipelineConfig config);
+
+  /// Run the whole predictive process with `optimizer` as the OS strategy.
+  PipelineResult run(Optimizer& optimizer, Rng& rng);
+
+  /// The probability matrix and predicted fire line of the last step run
+  /// (for examples that want to render the output).
+  const Grid<double>& last_probability() const { return last_probability_; }
+  const Grid<std::uint8_t>& last_prediction() const { return last_prediction_; }
+
+ private:
+  const firelib::FireEnvironment* env_;
+  const synth::GroundTruth* truth_;
+  PipelineConfig config_;
+  Grid<double> last_probability_;
+  Grid<std::uint8_t> last_prediction_;
+};
+
+}  // namespace essns::ess

@@ -1,0 +1,50 @@
+#include "ess/statistical.hpp"
+
+#include "common/error.hpp"
+
+namespace essns::ess {
+
+Grid<double> aggregate_probability(std::span<const firelib::IgnitionMap> maps,
+                                   double time_min) {
+  ESSNS_REQUIRE(!maps.empty(), "cannot aggregate zero maps");
+  Grid<double> probability(maps.front().rows(), maps.front().cols(), 0.0);
+  for (const auto& map : maps) {
+    ESSNS_REQUIRE(map.rows() == probability.rows() &&
+                      map.cols() == probability.cols(),
+                  "aggregated maps must share dimensions");
+    for (int r = 0; r < map.rows(); ++r)
+      for (int c = 0; c < map.cols(); ++c)
+        if (map(r, c) <= time_min) probability(r, c) += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(maps.size());
+  for (double& p : probability) p *= inv;
+  return probability;
+}
+
+Grid<double> aggregate_probability_masks(
+    std::span<const Grid<std::uint8_t>> masks) {
+  ESSNS_REQUIRE(!masks.empty(), "cannot aggregate zero masks");
+  Grid<double> probability(masks.front().rows(), masks.front().cols(), 0.0);
+  for (const auto& mask : masks) {
+    ESSNS_REQUIRE(mask.rows() == probability.rows() &&
+                      mask.cols() == probability.cols(),
+                  "aggregated masks must share dimensions");
+    for (int r = 0; r < mask.rows(); ++r)
+      for (int c = 0; c < mask.cols(); ++c)
+        if (mask(r, c)) probability(r, c) += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(masks.size());
+  for (double& p : probability) p *= inv;
+  return probability;
+}
+
+Grid<std::uint8_t> apply_kign(const Grid<double>& probability, double kign) {
+  ESSNS_REQUIRE(kign >= 0.0 && kign <= 1.0, "kign must lie in [0,1]");
+  Grid<std::uint8_t> burned(probability.rows(), probability.cols(), 0);
+  for (int r = 0; r < probability.rows(); ++r)
+    for (int c = 0; c < probability.cols(); ++c)
+      burned(r, c) = probability(r, c) >= kign ? 1 : 0;
+  return burned;
+}
+
+}  // namespace essns::ess

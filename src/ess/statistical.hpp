@@ -1,0 +1,26 @@
+// Statistical Stage (SS): aggregate the burn maps of the selected scenarios
+// into a matrix where each cell holds its probability of ignition — the
+// uncertainty-reduction core of every DDM-MOS system (Fig. 1 / Fig. 2).
+#pragma once
+
+#include <span>
+
+#include "common/grid.hpp"
+#include "firelib/propagator.hpp"
+
+namespace essns::ess {
+
+/// Probability-of-ignition matrix: fraction of maps in which each cell is
+/// burned by `time_min`. All maps must share dimensions.
+Grid<double> aggregate_probability(std::span<const firelib::IgnitionMap> maps,
+                                   double time_min);
+
+/// Same aggregation from precomputed burned masks.
+Grid<double> aggregate_probability_masks(
+    std::span<const Grid<std::uint8_t>> masks);
+
+/// Threshold the probability matrix at the Key Ignition Value: cells with
+/// probability >= kign are predicted burned. (Fig. 2's PS application.)
+Grid<std::uint8_t> apply_kign(const Grid<double>& probability, double kign);
+
+}  // namespace essns::ess

@@ -1,0 +1,107 @@
+#include "firelib/fuel_model.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace essns::firelib {
+namespace {
+
+using units::tons_per_acre_to_lb_per_ft2;
+
+FuelParticle particle(ParticleClass cls, double load_tpa, double savr) {
+  FuelParticle p;
+  p.cls = cls;
+  p.load = tons_per_acre_to_lb_per_ft2(load_tpa);
+  p.savr = savr;
+  return p;
+}
+
+// Builds one NFFL model. Loads are given in tons/acre (the usual published
+// form, Anderson 1982 / fireLib's FuelCat) and converted to lb/ft^2 here.
+// An entry with zero load is omitted from the particle list.
+FuelModel make_model(int number, std::string name, double depth_ft,
+                     double mext_dead_pct, double l1, double l10, double l100,
+                     double lherb, double lwoody, double savr1,
+                     double savr_herb = 1500.0, double savr_woody = 1500.0) {
+  FuelModel m;
+  m.number = number;
+  m.name = std::move(name);
+  m.depth = depth_ft;
+  m.mext_dead = mext_dead_pct / 100.0;
+  if (l1 > 0) m.particles.push_back(particle(ParticleClass::kDead1Hr, l1, savr1));
+  if (l10 > 0)
+    m.particles.push_back(particle(ParticleClass::kDead10Hr, l10, 109.0));
+  if (l100 > 0)
+    m.particles.push_back(particle(ParticleClass::kDead100Hr, l100, 30.0));
+  if (lherb > 0)
+    m.particles.push_back(particle(ParticleClass::kLiveHerb, lherb, savr_herb));
+  if (lwoody > 0)
+    m.particles.push_back(
+        particle(ParticleClass::kLiveWoody, lwoody, savr_woody));
+  return m;
+}
+
+}  // namespace
+
+bool FuelModel::has_live_fuel() const {
+  for (const auto& p : particles)
+    if (!is_dead(p.cls)) return true;
+  return false;
+}
+
+double FuelModel::total_load() const {
+  double sum = 0.0;
+  for (const auto& p : particles) sum += p.load;
+  return sum;
+}
+
+FuelCatalog::FuelCatalog() {
+  models_.reserve(14);
+  // Model 0: no fuel (fire cannot spread). Used for barriers/burned area.
+  FuelModel none;
+  none.number = 0;
+  none.name = "No Fuel";
+  none.depth = 0.0;
+  models_.push_back(std::move(none));
+
+  // NFFL 1-13 (Anderson 1982). Columns: depth ft, Mx-dead %, loads t/ac for
+  // 1h / 10h / 100h / live-herb / live-woody, SAVR of the 1-h class (1/ft).
+  models_.push_back(make_model(1, "Short grass (1 ft)",
+                               1.0, 12, 0.74, 0, 0, 0, 0, 3500));
+  models_.push_back(make_model(2, "Timber grass & understory",
+                               1.0, 15, 2.00, 1.00, 0.50, 0.50, 0, 3000));
+  models_.push_back(make_model(3, "Tall grass (2.5 ft)",
+                               2.5, 25, 3.01, 0, 0, 0, 0, 1500));
+  models_.push_back(make_model(4, "Chaparral (6 ft)",
+                               6.0, 20, 5.01, 4.01, 2.00, 0, 5.01, 2000));
+  models_.push_back(make_model(5, "Brush (2 ft)",
+                               2.0, 20, 1.00, 0.50, 0, 0, 2.00, 2000));
+  models_.push_back(make_model(6, "Dormant brush, hardwood slash",
+                               2.5, 25, 1.50, 2.50, 2.00, 0, 0, 1750));
+  models_.push_back(make_model(7, "Southern rough",
+                               2.5, 40, 1.13, 1.87, 1.50, 0, 0.37, 1750));
+  models_.push_back(make_model(8, "Closed timber litter",
+                               0.2, 30, 1.50, 1.00, 2.50, 0, 0, 2000));
+  models_.push_back(make_model(9, "Hardwood litter",
+                               0.2, 25, 2.92, 0.41, 0.15, 0, 0, 2500));
+  models_.push_back(make_model(10, "Timber (litter & understory)",
+                               1.0, 25, 3.01, 2.00, 5.01, 0, 2.00, 2000));
+  models_.push_back(make_model(11, "Light logging slash",
+                               1.0, 15, 1.50, 4.51, 5.51, 0, 0, 1500));
+  models_.push_back(make_model(12, "Medium logging slash",
+                               2.3, 20, 4.01, 14.03, 16.53, 0, 0, 1500));
+  models_.push_back(make_model(13, "Heavy logging slash",
+                               3.0, 25, 7.01, 23.04, 28.05, 0, 0, 1500));
+}
+
+const FuelCatalog& FuelCatalog::standard() {
+  static const FuelCatalog catalog;
+  return catalog;
+}
+
+const FuelModel& FuelCatalog::model(int number) const {
+  ESSNS_REQUIRE(contains(number), "fuel model number out of catalog range");
+  return models_[static_cast<std::size_t>(number)];
+}
+
+}  // namespace essns::firelib

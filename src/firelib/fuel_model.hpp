@@ -1,0 +1,78 @@
+// Fuel particles and the 13 NFFL (Northern Forest Fire Laboratory / Anderson
+// 1982) stylized fuel models, as shipped with Bevins' fireLib and used by
+// BEHAVE. The paper's Table I selects among these via the `Model` parameter
+// (1..13).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace essns::firelib {
+
+/// Size/life class of a fuel particle.
+enum class ParticleClass : std::uint8_t {
+  kDead1Hr,    ///< dead, 1-hour timelag (fine)
+  kDead10Hr,   ///< dead, 10-hour timelag
+  kDead100Hr,  ///< dead, 100-hour timelag
+  kLiveHerb,   ///< live herbaceous
+  kLiveWoody,  ///< live woody
+};
+
+constexpr bool is_dead(ParticleClass c) {
+  return c == ParticleClass::kDead1Hr || c == ParticleClass::kDead10Hr ||
+         c == ParticleClass::kDead100Hr;
+}
+
+/// One fuel particle type within a fuel bed. English units, as in fireLib:
+/// loads in lb/ft^2, SAVR in 1/ft, density lb/ft^3, heat Btu/lb.
+struct FuelParticle {
+  ParticleClass cls = ParticleClass::kDead1Hr;
+  double load = 0.0;           ///< oven-dry loading w0 (lb/ft^2)
+  double savr = 0.0;           ///< surface-area-to-volume ratio (1/ft)
+  double density = 32.0;       ///< particle density (lb/ft^3)
+  double heat = 8000.0;        ///< low heat content (Btu/lb)
+  double si_total = 0.0555;    ///< total silica content (fraction)
+  double si_effective = 0.01;  ///< effective silica content (fraction)
+};
+
+/// A stylized fuel bed: a set of particles plus bed-level attributes.
+struct FuelModel {
+  int number = 0;          ///< catalog number (0 = no fuel, 1..13 = NFFL)
+  std::string name;        ///< short descriptive name
+  double depth = 0.01;     ///< fuel bed depth (ft)
+  double mext_dead = 0.3;  ///< dead fuel moisture of extinction (fraction)
+  std::vector<FuelParticle> particles;
+
+  bool has_fuel() const { return !particles.empty() && depth > 0.0; }
+  bool has_live_fuel() const;
+  double total_load() const;  ///< sum of particle loads (lb/ft^2)
+};
+
+/// Catalog of the standard models. Model 0 is the non-burnable "no fuel"
+/// entry used for barriers (roads, water, previously burned cells).
+class FuelCatalog {
+ public:
+  /// The shared immutable standard catalog (models 0..13).
+  static const FuelCatalog& standard();
+
+  /// Number of models, including model 0.
+  int size() const { return static_cast<int>(models_.size()); }
+
+  /// Access by catalog number; throws InvalidArgument when out of range.
+  const FuelModel& model(int number) const;
+
+  /// True when `number` identifies a catalog entry.
+  bool contains(int number) const {
+    return number >= 0 && number < size();
+  }
+
+  static constexpr int kFirstBurnable = 1;
+  static constexpr int kLastStandard = 13;
+
+ private:
+  FuelCatalog();
+  std::vector<FuelModel> models_;
+};
+
+}  // namespace essns::firelib

@@ -1,0 +1,148 @@
+#include "firelib/propagator.hpp"
+
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace essns::firelib {
+namespace {
+
+// Azimuth (degrees clockwise from north) from a cell toward neighbour k of
+// kEightNeighbours, with row 0 being the north edge.
+constexpr std::array<double, 8> kNeighbourAzimuth = {
+    0.0, 45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0};
+
+constexpr double kSqrt2 = 1.41421356237309504880;
+
+struct QueueEntry {
+  double time;
+  std::size_t cell;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    return a.time > b.time;
+  }
+};
+
+}  // namespace
+
+Grid<std::uint8_t> burned_mask(const IgnitionMap& map, double time_min) {
+  Grid<std::uint8_t> mask(map.rows(), map.cols(), 0);
+  for (int r = 0; r < map.rows(); ++r)
+    for (int c = 0; c < map.cols(); ++c)
+      mask(r, c) = map(r, c) <= time_min ? 1 : 0;
+  return mask;
+}
+
+std::size_t burned_count(const IgnitionMap& map, double time_min) {
+  return map.count_if([time_min](double t) { return t <= time_min; });
+}
+
+FirePropagator::FirePropagator(const FireSpreadModel& model) : model_(&model) {}
+
+IgnitionMap FirePropagator::propagate(const FireEnvironment& env,
+                                      const Scenario& scenario,
+                                      const std::vector<CellIndex>& ignitions,
+                                      double horizon_min) const {
+  IgnitionMap initial(env.rows(), env.cols(), kNeverIgnited);
+  for (const CellIndex& cell : ignitions) {
+    ESSNS_REQUIRE(initial.in_bounds(cell), "ignition cell out of bounds");
+    initial(cell) = 0.0;
+  }
+  return propagate(env, scenario, initial, horizon_min);
+}
+
+IgnitionMap FirePropagator::propagate(const FireEnvironment& env,
+                                      const Scenario& scenario,
+                                      const IgnitionMap& initial,
+                                      double horizon_min) const {
+  ESSNS_REQUIRE(initial.rows() == env.rows() && initial.cols() == env.cols(),
+                "initial map dimensions must match environment");
+  ESSNS_REQUIRE(horizon_min >= 0.0, "horizon must be non-negative");
+
+  const MoistureSet moisture{
+      units::percent_to_fraction(scenario.m1),
+      units::percent_to_fraction(scenario.m10),
+      units::percent_to_fraction(scenario.m100),
+      units::percent_to_fraction(scenario.mherb),
+      units::percent_to_fraction(scenario.mherb),  // woody ~ herbaceous
+  };
+  const double wind_fpm = units::mph_to_ft_per_min(scenario.wind_speed);
+
+  // Fire behavior per cell. With uniform topography the behavior depends
+  // only on the fuel model, so a 14-entry cache covers the whole map; with a
+  // DEM each cell may differ, so cache per (model, slope, aspect) cell value.
+  const bool uniform = !env.has_topography();
+  std::array<FireBehavior, 14> by_model{};
+  std::array<bool, 14> by_model_ready{};
+  auto behavior_at = [&](int r, int c) -> FireBehavior {
+    const int fuel = env.fuel_model_at(r, c, scenario);
+    if (fuel <= 0) return FireBehavior{};  // unburnable
+    if (uniform) {
+      auto idx = static_cast<std::size_t>(fuel);
+      if (!by_model_ready[idx]) {
+        WindSlope ws{wind_fpm, scenario.wind_dir,
+                     units::slope_degrees_to_ratio(scenario.slope),
+                     std::fmod(scenario.aspect + 180.0, 360.0)};
+        by_model[idx] = model_->behavior(fuel, moisture, ws);
+        by_model_ready[idx] = true;
+      }
+      return by_model[idx];
+    }
+    WindSlope ws{wind_fpm, scenario.wind_dir,
+                 units::slope_degrees_to_ratio(env.slope_deg_at(r, c, scenario)),
+                 std::fmod(env.aspect_deg_at(r, c, scenario) + 180.0, 360.0)};
+    return model_->behavior(fuel, moisture, ws);
+  };
+
+  IgnitionMap times(env.rows(), env.cols(), kNeverIgnited);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> heap;
+
+  for (int r = 0; r < initial.rows(); ++r) {
+    for (int c = 0; c < initial.cols(); ++c) {
+      const double t = initial(r, c);
+      if (t < kNeverIgnited) {
+        ESSNS_REQUIRE(t >= 0.0, "initial ignition times must be non-negative");
+        times(r, c) = t;
+        heap.push({t, times.index_of(r, c)});
+      }
+    }
+  }
+
+  const double cell_ft = env.cell_size_ft();
+  while (!heap.empty()) {
+    const QueueEntry top = heap.top();
+    heap.pop();
+    const CellIndex cell = times.cell_of(top.cell);
+    if (top.time > times(cell)) continue;  // stale entry
+    if (top.time > horizon_min) break;     // everything later is out of horizon
+
+    const FireBehavior behavior = behavior_at(cell.row, cell.col);
+    if (behavior.spread_rate_max <= 0.0) continue;
+
+    for (std::size_t k = 0; k < kEightNeighbours.size(); ++k) {
+      const int nr = cell.row + kEightNeighbours[k].row;
+      const int nc = cell.col + kEightNeighbours[k].col;
+      if (!times.in_bounds(nr, nc)) continue;
+      if (env.fuel_model_at(nr, nc, scenario) <= 0) continue;
+
+      const double rate = behavior.spread_rate_at(kNeighbourAzimuth[k]);
+      if (rate <= 0.0) continue;
+      const double dist = (k % 2 == 0) ? cell_ft : cell_ft * kSqrt2;
+      const double arrival = top.time + dist / rate;
+      if (arrival < times(nr, nc) && arrival <= horizon_min) {
+        times(nr, nc) = arrival;
+        heap.push({arrival, times.index_of(nr, nc)});
+      }
+    }
+  }
+
+  // Clamp: anything beyond the horizon is reported as never ignited, matching
+  // the simulator contract ("time instant of ignition ... or zero otherwise").
+  for (double& t : times)
+    if (t > horizon_min) t = kNeverIgnited;
+  return times;
+}
+
+}  // namespace essns::firelib

@@ -1,0 +1,50 @@
+// Cell-contagion fire growth: minimum-travel-time propagation over the
+// 8-neighbour lattice (the algorithm of fireLib's FireSpreadStep driver,
+// formulated as a single Dijkstra sweep so results are order-independent).
+//
+// The output is the paper's simulator output: "a map indicating the time
+// instant of ignition of each cell". Never-ignited cells hold
+// kNeverIgnited (+infinity).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/grid.hpp"
+#include "firelib/environment.hpp"
+#include "firelib/rothermel.hpp"
+#include "firelib/scenario.hpp"
+
+namespace essns::firelib {
+
+/// Ignition-time map in minutes; kNeverIgnited marks unburned cells.
+using IgnitionMap = Grid<double>;
+
+inline constexpr double kNeverIgnited = std::numeric_limits<double>::infinity();
+
+/// Binary burned mask of `map` at time `t` (1 = ignited at or before t).
+Grid<std::uint8_t> burned_mask(const IgnitionMap& map, double time_min);
+
+/// Number of cells ignited at or before `time_min`.
+std::size_t burned_count(const IgnitionMap& map, double time_min);
+
+class FirePropagator {
+ public:
+  explicit FirePropagator(const FireSpreadModel& model);
+
+  /// Spread from point ignitions (ignited at t = 0) until `horizon_min`.
+  IgnitionMap propagate(const FireEnvironment& env, const Scenario& scenario,
+                        const std::vector<CellIndex>& ignitions,
+                        double horizon_min) const;
+
+  /// Spread continuing from an existing ignition-time map: every finite cell
+  /// of `initial` is a source with its recorded time. This is how a
+  /// prediction step simulates forward from the real fire line RFL(t-1).
+  IgnitionMap propagate(const FireEnvironment& env, const Scenario& scenario,
+                        const IgnitionMap& initial, double horizon_min) const;
+
+ private:
+  const FireSpreadModel* model_;
+};
+
+}  // namespace essns::firelib

@@ -1,0 +1,166 @@
+#include "firelib/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "firelib/fuel_model.hpp"
+
+namespace essns::firelib {
+namespace {
+
+double wrap360(double deg) {
+  double w = std::fmod(deg, 360.0);
+  return w < 0.0 ? w + 360.0 : w;
+}
+
+}  // namespace
+
+std::string Scenario::to_string() const {
+  std::ostringstream os;
+  os << "Scenario{model=" << model << ", wind=" << wind_speed << "mph@"
+     << wind_dir << "deg, m1=" << m1 << "%, m10=" << m10 << "%, m100=" << m100
+     << "%, mherb=" << mherb << "%, slope=" << slope << "deg, aspect="
+     << aspect << "deg}";
+  return os.str();
+}
+
+ScenarioSpace::ScenarioSpace() {
+  specs_[kModel] = {"Model", "Rothermel Fuel Model", 1, 13, "fuel model",
+                    /*integral=*/true, /*circular=*/false};
+  specs_[kWindSpd] = {"WindSpd", "Wind speed", 0, 80, "miles/hour", false,
+                      false};
+  specs_[kWindDir] = {"WindDir", "Wind direction", 0, 360,
+                      "degrees clockwise from North", false, true};
+  specs_[kM1] = {"M1", "Dead Fuel Moisture in 1 hour since start of fire", 1,
+                 60, "percent", false, false};
+  specs_[kM10] = {"M10", "Dead Fuel Moisture in 10 h", 1, 60, "percent", false,
+                  false};
+  specs_[kM100] = {"M100", "Dead Fuel Moisture in 100 h", 1, 60, "percent",
+                   false, false};
+  specs_[kMherb] = {"Mherb", "Live herbaceous fuel moisture", 30, 300,
+                    "percent", false, false};
+  specs_[kSlope] = {"Slope", "Surface slope", 0, 81, "degrees", false, false};
+  specs_[kAspect] = {"Aspect", "Direction of the surface faces", 0, 360,
+                     "degrees clockwise from north", false, true};
+}
+
+const ScenarioSpace& ScenarioSpace::table1() {
+  static const ScenarioSpace space;
+  return space;
+}
+
+const ParamSpec& ScenarioSpace::spec(int index) const {
+  ESSNS_REQUIRE(index >= 0 && index < kParamCount, "parameter index in 0..8");
+  return specs_[static_cast<std::size_t>(index)];
+}
+
+std::array<double, kParamCount> ScenarioSpace::raw_values(
+    const Scenario& s) const {
+  return {static_cast<double>(s.model), s.wind_speed, s.wind_dir, s.m1, s.m10,
+          s.m100, s.mherb, s.slope, s.aspect};
+}
+
+bool ScenarioSpace::is_valid(const Scenario& s) const {
+  const auto values = raw_values(s);
+  for (int i = 0; i < kParamCount; ++i) {
+    const ParamSpec& p = specs_[static_cast<std::size_t>(i)];
+    if (values[static_cast<std::size_t>(i)] < p.lo ||
+        values[static_cast<std::size_t>(i)] > p.hi)
+      return false;
+  }
+  return true;
+}
+
+Scenario ScenarioSpace::clamp(const Scenario& s) const {
+  auto clamp_to = [&](double v, int i) {
+    const ParamSpec& p = specs_[static_cast<std::size_t>(i)];
+    if (p.circular) return wrap360(v);
+    return std::clamp(v, p.lo, p.hi);
+  };
+  Scenario out = s;
+  out.model = static_cast<int>(clamp_to(s.model, kModel));
+  out.wind_speed = clamp_to(s.wind_speed, kWindSpd);
+  out.wind_dir = clamp_to(s.wind_dir, kWindDir);
+  out.m1 = clamp_to(s.m1, kM1);
+  out.m10 = clamp_to(s.m10, kM10);
+  out.m100 = clamp_to(s.m100, kM100);
+  out.mherb = clamp_to(s.mherb, kMherb);
+  out.slope = clamp_to(s.slope, kSlope);
+  out.aspect = clamp_to(s.aspect, kAspect);
+  return out;
+}
+
+Scenario ScenarioSpace::sample(Rng& rng) const {
+  Scenario s;
+  s.model = static_cast<int>(rng.uniform_int(
+      FuelCatalog::kFirstBurnable, FuelCatalog::kLastStandard));
+  s.wind_speed = rng.uniform(specs_[kWindSpd].lo, specs_[kWindSpd].hi);
+  s.wind_dir = rng.uniform(specs_[kWindDir].lo, specs_[kWindDir].hi);
+  s.m1 = rng.uniform(specs_[kM1].lo, specs_[kM1].hi);
+  s.m10 = rng.uniform(specs_[kM10].lo, specs_[kM10].hi);
+  s.m100 = rng.uniform(specs_[kM100].lo, specs_[kM100].hi);
+  s.mherb = rng.uniform(specs_[kMherb].lo, specs_[kMherb].hi);
+  s.slope = rng.uniform(specs_[kSlope].lo, specs_[kSlope].hi);
+  s.aspect = rng.uniform(specs_[kAspect].lo, specs_[kAspect].hi);
+  return s;
+}
+
+std::vector<double> ScenarioSpace::encode(const Scenario& s) const {
+  ESSNS_REQUIRE(is_valid(s), "cannot encode out-of-range scenario");
+  const auto values = raw_values(s);
+  std::vector<double> genome(kParamCount);
+  for (int i = 0; i < kParamCount; ++i) {
+    const ParamSpec& p = specs_[static_cast<std::size_t>(i)];
+    const double v = values[static_cast<std::size_t>(i)];
+    if (p.integral) {
+      // Map model number m to the center of its bin so decode() rounds back.
+      const int bins = static_cast<int>(p.hi - p.lo) + 1;
+      genome[static_cast<std::size_t>(i)] =
+          (v - p.lo + 0.5) / static_cast<double>(bins);
+    } else {
+      genome[static_cast<std::size_t>(i)] = (v - p.lo) / (p.hi - p.lo);
+    }
+  }
+  return genome;
+}
+
+Scenario ScenarioSpace::decode(const std::vector<double>& genome) const {
+  ESSNS_REQUIRE(genome.size() == kParamCount,
+                "genome must have 9 components (Table I)");
+  auto gene = [&](int i) {
+    const ParamSpec& p = specs_[static_cast<std::size_t>(i)];
+    double g = genome[static_cast<std::size_t>(i)];
+    if (p.circular) {
+      g = g - std::floor(g);  // wrap into [0,1)
+    } else {
+      g = std::clamp(g, 0.0, 1.0);
+    }
+    return g;
+  };
+
+  Scenario s;
+  {
+    const ParamSpec& p = specs_[kModel];
+    const int bins = static_cast<int>(p.hi - p.lo) + 1;
+    const int bin = std::min(bins - 1,
+                             static_cast<int>(gene(kModel) * bins));
+    s.model = static_cast<int>(p.lo) + bin;
+  }
+  auto linear = [&](int i) {
+    const ParamSpec& p = specs_[static_cast<std::size_t>(i)];
+    return p.lo + gene(i) * (p.hi - p.lo);
+  };
+  s.wind_speed = linear(kWindSpd);
+  s.wind_dir = linear(kWindDir);
+  s.m1 = linear(kM1);
+  s.m10 = linear(kM10);
+  s.m100 = linear(kM100);
+  s.mherb = linear(kMherb);
+  s.slope = linear(kSlope);
+  s.aspect = linear(kAspect);
+  return s;
+}
+
+}  // namespace essns::firelib

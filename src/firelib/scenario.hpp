@@ -1,0 +1,96 @@
+// Scenario: the 9-dimensional input-parameter vector of Table I of the paper.
+//
+// A scenario fully determines the fire behavior computed by the simulator for
+// a given terrain. Scenarios are the individuals of every optimizer in this
+// repository; ScenarioSpace defines the legal ranges (Table I), validation,
+// random sampling, and the bijection with the normalized [0,1]^9 genome
+// representation used by the evolutionary algorithms.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace essns::firelib {
+
+/// Index of each Table I parameter inside the genome vector.
+enum ParamIndex : int {
+  kModel = 0,    ///< Rothermel fuel model, 1..13
+  kWindSpd = 1,  ///< wind speed, mi/h
+  kWindDir = 2,  ///< wind bearing, degrees clockwise from north
+  kM1 = 3,       ///< dead fuel moisture 1-h, percent
+  kM10 = 4,      ///< dead fuel moisture 10-h, percent
+  kM100 = 5,     ///< dead fuel moisture 100-h, percent
+  kMherb = 6,    ///< live herbaceous fuel moisture, percent
+  kSlope = 7,    ///< surface slope, degrees
+  kAspect = 8,   ///< downslope-facing azimuth, degrees clockwise from north
+  kParamCount = 9,
+};
+
+/// One environmental scenario (an individual / parameter vector PV).
+///
+/// Wind direction follows fireLib's convention: the compass bearing the wind
+/// blows *toward*, i.e. the direction in which the fire is pushed. Aspect is
+/// the direction the surface faces (downslope azimuth).
+struct Scenario {
+  int model = 1;           ///< Rothermel fuel model number (1..13)
+  double wind_speed = 0;   ///< mi/h, Table I range 0..80
+  double wind_dir = 0;     ///< degrees clockwise from north (blowing toward)
+  double m1 = 10;          ///< percent, 1..60
+  double m10 = 10;         ///< percent, 1..60
+  double m100 = 10;        ///< percent, 1..60
+  double mherb = 100;      ///< percent, 30..300
+  double slope = 0;        ///< degrees, 0..81
+  double aspect = 0;       ///< degrees clockwise from north, 0..360
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+  std::string to_string() const;
+};
+
+/// Closed range of one parameter plus display metadata (Table I row).
+struct ParamSpec {
+  std::string name;
+  std::string description;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::string unit;
+  bool integral = false;  ///< true for the fuel-model parameter
+  bool circular = false;  ///< true for azimuth parameters (wrap at 360)
+};
+
+/// The search space defined by Table I.
+class ScenarioSpace {
+ public:
+  /// The paper's Table I space (shared immutable instance).
+  static const ScenarioSpace& table1();
+
+  const std::array<ParamSpec, kParamCount>& specs() const { return specs_; }
+  const ParamSpec& spec(int index) const;
+
+  /// True when every field of `s` lies inside its Table I range.
+  bool is_valid(const Scenario& s) const;
+
+  /// Clamp every field into range (azimuths wrap instead of clamping).
+  Scenario clamp(const Scenario& s) const;
+
+  /// Uniform random scenario inside the space.
+  Scenario sample(Rng& rng) const;
+
+  /// Scenario -> normalized genome in [0,1]^9 (model maps to its bin center).
+  std::vector<double> encode(const Scenario& s) const;
+
+  /// Normalized genome -> scenario. Values outside [0,1] are clamped
+  /// (wrapped for circular parameters) before decoding.
+  Scenario decode(const std::vector<double>& genome) const;
+
+  /// Raw (unnormalized) parameter vector, for distance metrics and display.
+  std::array<double, kParamCount> raw_values(const Scenario& s) const;
+
+ private:
+  ScenarioSpace();
+  std::array<ParamSpec, kParamCount> specs_;
+};
+
+}  // namespace essns::firelib

@@ -1,0 +1,82 @@
+#include "metrics/diversity.hpp"
+
+#include <cmath>
+
+#include "common/statistics.hpp"
+
+namespace essns::metrics {
+
+double genotypic_diversity(const ea::Population& pop) {
+  if (pop.size() < 2) return 0.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    for (std::size_t j = i + 1; j < pop.size(); ++j) {
+      sum += ea::genome_distance(pop[i].genome, pop[j].genome);
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+double fitness_iqr(const ea::Population& pop) {
+  std::vector<double> fitness;
+  fitness.reserve(pop.size());
+  for (const auto& ind : pop)
+    if (ind.evaluated()) fitness.push_back(ind.fitness);
+  if (fitness.size() < 4) return 0.0;
+  return iqr(fitness);
+}
+
+double fitness_stddev(const ea::Population& pop) {
+  std::vector<double> fitness;
+  fitness.reserve(pop.size());
+  for (const auto& ind : pop)
+    if (ind.evaluated()) fitness.push_back(ind.fitness);
+  if (fitness.size() < 2) return 0.0;
+  return stddev(fitness);
+}
+
+double centroid_spread(const ea::Population& pop) {
+  if (pop.size() < 2 || pop.front().genome.empty()) return 0.0;
+  const std::size_t dim = pop.front().genome.size();
+  ea::Genome centroid(dim, 0.0);
+  for (const auto& ind : pop)
+    for (std::size_t d = 0; d < dim; ++d) centroid[d] += ind.genome[d];
+  for (double& c : centroid) c /= static_cast<double>(pop.size());
+  double sum = 0.0;
+  for (const auto& ind : pop)
+    sum += ea::genome_distance(ind.genome, centroid);
+  return sum / static_cast<double>(pop.size());
+}
+
+ea::GenerationObserver TrajectoryRecorder::observer() {
+  return [this](int generation, const ea::Population& pop) {
+    GenerationStats row;
+    row.generation = generation;
+    row.best_fitness = ea::max_fitness(pop);
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& ind : pop) {
+      if (ind.evaluated()) {
+        sum += ind.fitness;
+        ++count;
+      }
+    }
+    row.mean_fitness = count ? sum / static_cast<double>(count) : 0.0;
+    row.diversity = genotypic_diversity(pop);
+    row.iqr = fitness_iqr(pop);
+    rows_.push_back(row);
+  };
+}
+
+int TrajectoryRecorder::collapse_generation(double fraction) const {
+  if (rows_.empty()) return -1;
+  const double initial = rows_.front().diversity;
+  if (initial <= 0.0) return -1;
+  for (const auto& row : rows_)
+    if (row.diversity < fraction * initial) return row.generation;
+  return -1;
+}
+
+}  // namespace essns::metrics

@@ -1,0 +1,51 @@
+// Population diagnostics used by the diversity/convergence experiments
+// (EXP-D) and by the ESSIM-DE tuning analysis: genotypic diversity, fitness
+// dispersion, and stagnation summaries.
+#pragma once
+
+#include <vector>
+
+#include "ea/individual.hpp"
+
+namespace essns::metrics {
+
+/// Mean pairwise Euclidean distance between genomes; 0 for size < 2.
+/// The standard genotypic-diversity measure for real-coded populations.
+double genotypic_diversity(const ea::Population& pop);
+
+/// Interquartile range of the population's fitness values (the ESSIM-DE
+/// dispersion metric); 0 for fewer than 4 evaluated individuals.
+double fitness_iqr(const ea::Population& pop);
+
+/// Standard deviation of fitness values; 0 for size < 2.
+double fitness_stddev(const ea::Population& pop);
+
+/// Mean distance of each genome to the population centroid.
+double centroid_spread(const ea::Population& pop);
+
+/// Per-generation record captured by TrajectoryRecorder.
+struct GenerationStats {
+  int generation = 0;
+  double best_fitness = 0.0;
+  double mean_fitness = 0.0;
+  double diversity = 0.0;   ///< genotypic_diversity
+  double iqr = 0.0;         ///< fitness_iqr
+};
+
+/// GenerationObserver that appends one GenerationStats row per generation.
+/// Share one recorder across a run, then read rows().
+class TrajectoryRecorder {
+ public:
+  ea::GenerationObserver observer();
+  const std::vector<GenerationStats>& rows() const { return rows_; }
+  void clear() { rows_.clear(); }
+
+  /// Generation index at which diversity first fell below `fraction` of its
+  /// initial value; -1 if never. The premature-convergence indicator.
+  int collapse_generation(double fraction = 0.1) const;
+
+ private:
+  std::vector<GenerationStats> rows_;
+};
+
+}  // namespace essns::metrics

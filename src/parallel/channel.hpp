@@ -1,0 +1,97 @@
+// Typed blocking channel: the in-process substitute for MPI point-to-point
+// messaging (see DESIGN.md §2). Multiple producers, multiple consumers;
+// close() delivers end-of-stream to receivers, mirroring an MPI termination
+// tag. All operations are thread-safe.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace essns::parallel {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocking send; returns false when the channel is closed (message is
+  /// dropped, matching a send to a finalized MPI rank being an error the
+  /// caller must handle).
+  bool send(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+    });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking send; returns false if full or closed.
+  bool try_send(T value) {
+    std::lock_guard lock(mutex_);
+    if (closed_ || (capacity_ != 0 && queue_.size() >= capacity_)) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking receive; nullopt means closed and drained.
+  std::optional<T> receive() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_receive() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Close: wakes all blocked senders/receivers; queued items remain
+  /// receivable until drained.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t capacity_;  // 0 = unbounded
+  bool closed_ = false;
+};
+
+}  // namespace essns::parallel

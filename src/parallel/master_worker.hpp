@@ -1,0 +1,117 @@
+// Master/Worker evaluator: the parallel pattern of Fig. 1 / Fig. 3 of the
+// paper (OS-Master distributing parameter vectors PV{1..n} to OS-Worker x).
+//
+// Tasks are scattered over persistent worker threads through a channel (the
+// MPI-substitute messaging layer) and results are gathered back in task
+// order. Per-worker counters are kept so experiments can report load balance.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "parallel/channel.hpp"
+
+namespace essns::parallel {
+
+template <typename Task, typename Result>
+class MasterWorker {
+ public:
+  /// worker_fn(worker_id, task) -> result; must be safe to call concurrently
+  /// from different workers.
+  using WorkerFn = std::function<Result(unsigned, const Task&)>;
+
+  MasterWorker(unsigned workers, WorkerFn worker_fn)
+      : worker_fn_(std::move(worker_fn)), processed_(workers) {
+    ESSNS_REQUIRE(workers >= 1, "need at least one worker");
+    for (auto& counter : processed_) counter.store(0);
+    threads_.reserve(workers);
+    for (unsigned id = 0; id < workers; ++id) {
+      threads_.emplace_back([this, id] { worker_loop(id); });
+    }
+  }
+
+  ~MasterWorker() {
+    task_channel_.close();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  MasterWorker(const MasterWorker&) = delete;
+  MasterWorker& operator=(const MasterWorker&) = delete;
+
+  unsigned worker_count() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Scatter `tasks`, gather results in task order. Rethrows the first worker
+  /// exception after the batch drains. Reentrant but not concurrent: one
+  /// master drives one evaluation at a time (as in the paper's OS-Master).
+  std::vector<Result> evaluate(const std::vector<Task>& tasks) {
+    std::vector<Result> results(tasks.size());
+    if (tasks.empty()) return results;
+
+    Batch batch;
+    batch.tasks = &tasks;
+    batch.results = &results;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const bool sent = task_channel_.send(Envelope{&batch, i});
+      ESSNS_REQUIRE(sent, "evaluate on a stopped MasterWorker");
+    }
+
+    // Master blocks until all workers reported completion for this batch.
+    std::unique_lock lock(batch.mutex);
+    batch.done.wait(lock, [&] { return batch.completed == tasks.size(); });
+    if (batch.error) std::rethrow_exception(batch.error);
+    return results;
+  }
+
+  /// Tasks processed by worker `id` since construction (load-balance metric).
+  std::size_t processed_by(unsigned id) const {
+    ESSNS_REQUIRE(id < processed_.size(), "worker id out of range");
+    return processed_[id].load();
+  }
+
+ private:
+  struct Batch {
+    const std::vector<Task>* tasks = nullptr;
+    std::vector<Result>* results = nullptr;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t completed = 0;
+    std::exception_ptr error;
+  };
+
+  struct Envelope {
+    Batch* batch;
+    std::size_t index;
+  };
+
+  void worker_loop(unsigned id) {
+    while (auto envelope = task_channel_.receive()) {
+      Batch& batch = *envelope->batch;
+      std::exception_ptr error;
+      try {
+        (*batch.results)[envelope->index] =
+            worker_fn_(id, (*batch.tasks)[envelope->index]);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      processed_[id].fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(batch.mutex);
+        if (error && !batch.error) batch.error = error;
+        ++batch.completed;
+        if (batch.completed == batch.tasks->size()) batch.done.notify_all();
+      }
+    }
+  }
+
+  WorkerFn worker_fn_;
+  Channel<Envelope> task_channel_;
+  std::vector<std::atomic<std::size_t>> processed_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace essns::parallel

@@ -1,0 +1,42 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace essns::parallel {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  ESSNS_REQUIRE(threads >= 1, "thread pool needs at least one thread");
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] {
+      while (auto task = tasks_.receive()) (*task)();
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  tasks_.close();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(thread_count(), n);
+  const std::size_t block = (n + workers - 1) / workers;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * block;
+    const std::size_t end = std::min(n, begin + block);
+    if (begin >= end) break;
+    futures.push_back(submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace essns::parallel

@@ -1,0 +1,60 @@
+// Fixed-size thread pool with a futures-based submit API and a bulk
+// parallel-for helper. This is the execution engine behind the Master/Worker
+// evaluator: "workers" in the paper's sense map to pool threads here.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/channel.hpp"
+
+namespace essns::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). Defaults to hardware concurrency.
+  explicit ThreadPool(unsigned threads = default_thread_count());
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Schedule `fn(args...)`; the returned future carries the result or the
+  /// exception thrown by fn.
+  template <typename F, typename... Args>
+  auto submit(F&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(fn),
+         ... args = std::forward<Args>(args)]() mutable {
+          return std::invoke(std::move(fn), std::move(args)...);
+        });
+    std::future<R> result = task->get_future();
+    const bool accepted = tasks_.send([task] { (*task)(); });
+    ESSNS_REQUIRE(accepted, "submit on a stopped ThreadPool");
+    return result;
+  }
+
+  /// Run fn(i) for i in [0, n), blocking until all complete. Work is split
+  /// into `thread_count()` contiguous blocks. Exceptions propagate (first one
+  /// wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  static unsigned default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+  }
+
+ private:
+  Channel<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace essns::parallel

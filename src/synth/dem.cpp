@@ -1,0 +1,139 @@
+#include "synth/dem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace essns::synth {
+namespace {
+
+// Smallest power-of-two-plus-one grid covering `size`.
+int diamond_square_extent(int size) {
+  int n = 1;
+  while (n + 1 < size) n *= 2;
+  return n + 1;
+}
+
+}  // namespace
+
+Grid<double> diamond_square_dem(const DemConfig& config, Rng& rng) {
+  ESSNS_REQUIRE(config.size >= 2, "DEM size >= 2");
+  ESSNS_REQUIRE(config.roughness > 0.0 && config.roughness < 1.0,
+                "roughness in (0,1)");
+  ESSNS_REQUIRE(config.relief_ft > 0.0, "relief must be positive");
+
+  const int n = diamond_square_extent(config.size);
+  Grid<double> height(n, n, 0.0);
+
+  height(0, 0) = rng.uniform();
+  height(0, n - 1) = rng.uniform();
+  height(n - 1, 0) = rng.uniform();
+  height(n - 1, n - 1) = rng.uniform();
+
+  double amplitude = 1.0;
+  for (int step = n - 1; step >= 2; step /= 2) {
+    const int half = step / 2;
+    // Diamond step: centers of squares.
+    for (int r = half; r < n; r += step) {
+      for (int c = half; c < n; c += step) {
+        const double avg = (height(r - half, c - half) +
+                            height(r - half, c + half) +
+                            height(r + half, c - half) +
+                            height(r + half, c + half)) / 4.0;
+        height(r, c) = avg + amplitude * rng.uniform(-0.5, 0.5);
+      }
+    }
+    // Square step: edge midpoints.
+    for (int r = 0; r < n; r += half) {
+      for (int c = (r / half) % 2 == 0 ? half : 0; c < n; c += step) {
+        double sum = 0.0;
+        int count = 0;
+        if (r - half >= 0) { sum += height(r - half, c); ++count; }
+        if (r + half < n) { sum += height(r + half, c); ++count; }
+        if (c - half >= 0) { sum += height(r, c - half); ++count; }
+        if (c + half < n) { sum += height(r, c + half); ++count; }
+        height(r, c) = sum / count + amplitude * rng.uniform(-0.5, 0.5);
+      }
+    }
+    amplitude *= config.roughness;
+  }
+
+  // Crop to the requested size and rescale into [0, relief_ft].
+  Grid<double> out(config.size, config.size, 0.0);
+  double lo = height(0, 0), hi = height(0, 0);
+  for (int r = 0; r < config.size; ++r) {
+    for (int c = 0; c < config.size; ++c) {
+      lo = std::min(lo, height(r, c));
+      hi = std::max(hi, height(r, c));
+    }
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (int r = 0; r < config.size; ++r)
+    for (int c = 0; c < config.size; ++c)
+      out(r, c) = (height(r, c) - lo) / span * config.relief_ft;
+  return out;
+}
+
+Grid<double> slope_from_dem(const Grid<double>& dem, double cell_size_ft) {
+  ESSNS_REQUIRE(cell_size_ft > 0.0, "cell size must be positive");
+  Grid<double> slope(dem.rows(), dem.cols(), 0.0);
+  auto z = [&](int r, int c) {
+    r = std::clamp(r, 0, dem.rows() - 1);
+    c = std::clamp(c, 0, dem.cols() - 1);
+    return dem(r, c);
+  };
+  for (int r = 0; r < dem.rows(); ++r) {
+    for (int c = 0; c < dem.cols(); ++c) {
+      // Horn's method: weighted central differences over the 3x3 window.
+      const double dzdx =
+          ((z(r - 1, c + 1) + 2 * z(r, c + 1) + z(r + 1, c + 1)) -
+           (z(r - 1, c - 1) + 2 * z(r, c - 1) + z(r + 1, c - 1))) /
+          (8.0 * cell_size_ft);
+      const double dzdy =
+          ((z(r + 1, c - 1) + 2 * z(r + 1, c) + z(r + 1, c + 1)) -
+           (z(r - 1, c - 1) + 2 * z(r - 1, c) + z(r - 1, c + 1))) /
+          (8.0 * cell_size_ft);
+      slope(r, c) = units::radians_to_degrees(
+          std::atan(std::sqrt(dzdx * dzdx + dzdy * dzdy)));
+    }
+  }
+  return slope;
+}
+
+Grid<double> aspect_from_dem(const Grid<double>& dem, double cell_size_ft) {
+  ESSNS_REQUIRE(cell_size_ft > 0.0, "cell size must be positive");
+  Grid<double> aspect(dem.rows(), dem.cols(), 0.0);
+  auto z = [&](int r, int c) {
+    r = std::clamp(r, 0, dem.rows() - 1);
+    c = std::clamp(c, 0, dem.cols() - 1);
+    return dem(r, c);
+  };
+  for (int r = 0; r < dem.rows(); ++r) {
+    for (int c = 0; c < dem.cols(); ++c) {
+      const double dzdx =
+          ((z(r - 1, c + 1) + 2 * z(r, c + 1) + z(r + 1, c + 1)) -
+           (z(r - 1, c - 1) + 2 * z(r, c - 1) + z(r + 1, c - 1))) /
+          (8.0 * cell_size_ft);
+      const double dzdy =
+          ((z(r + 1, c - 1) + 2 * z(r + 1, c) + z(r + 1, c + 1)) -
+           (z(r - 1, c - 1) + 2 * z(r - 1, c) + z(r - 1, c + 1))) /
+          (8.0 * cell_size_ft);
+      if (std::fabs(dzdx) < 1e-12 && std::fabs(dzdy) < 1e-12) {
+        aspect(r, c) = 0.0;  // flat
+        continue;
+      }
+      // Downslope direction: negative gradient. Row axis points south.
+      // atan2(east_component, north_component), converted to compass bearing.
+      const double east = -dzdx;
+      const double north = dzdy;  // dzdy grows southward, so -(-dzdy) = dzdy
+      double deg = units::radians_to_degrees(std::atan2(east, north));
+      if (deg < 0.0) deg += 360.0;
+      aspect(r, c) = deg;
+    }
+  }
+  return aspect;
+}
+
+}  // namespace essns::synth

@@ -1,0 +1,32 @@
+// Synthetic digital elevation models and derived topography layers.
+//
+// The paper's experiments run on terrain maps fed to fireLib. Lacking the
+// authors' maps, we generate fractal terrain with the diamond-square
+// algorithm and derive per-cell slope/aspect with the standard Horn (1981)
+// 3x3 finite-difference stencil — the same derivation GIS tools apply to
+// real DEMs, so the simulator sees statistically realistic topography.
+#pragma once
+
+#include "common/grid.hpp"
+#include "common/rng.hpp"
+
+namespace essns::synth {
+
+struct DemConfig {
+  int size = 65;          ///< output is size x size; any size >= 2 accepted
+  double roughness = 0.55; ///< amplitude decay per octave, (0,1)
+  double relief_ft = 500.0; ///< peak-to-valley elevation range
+  double cell_size_ft = 100.0;
+};
+
+/// Fractal elevation grid (feet). Values span approximately [0, relief_ft].
+Grid<double> diamond_square_dem(const DemConfig& config, Rng& rng);
+
+/// Per-cell slope (degrees) from a DEM via Horn's method.
+Grid<double> slope_from_dem(const Grid<double>& dem, double cell_size_ft);
+
+/// Per-cell aspect (degrees clockwise from north, downslope direction).
+/// Flat cells report 0.
+Grid<double> aspect_from_dem(const Grid<double>& dem, double cell_size_ft);
+
+}  // namespace essns::synth

@@ -1,0 +1,57 @@
+// Ground-truth ("real fire") generation.
+//
+// The paper evaluates against real fire lines RFL_i observed at discrete
+// instants t_i. We lack the authors' burn cases, so the generator creates the
+// same inverse problem synthetically (DESIGN.md §2): a *hidden* scenario
+// drives the simulator to produce the reference fire; the optimizers never
+// see it — they only see the fire-line maps. Uncertainty is injected two
+// ways, matching the paper's motivation (§I):
+//   * parameter drift: the hidden scenario random-walks between steps
+//     ("variables have a dynamic behavior", e.g. wind);
+//   * observation noise: the reported fire line randomly gains/loses
+//     boundary cells (imprecise measurement).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "firelib/environment.hpp"
+#include "firelib/propagator.hpp"
+
+namespace essns::synth {
+
+struct GroundTruthConfig {
+  firelib::Scenario hidden;        ///< true scenario at step 1 (never shown)
+  double step_minutes = 60.0;      ///< prediction-step length
+  int steps = 5;                   ///< number of instants t_1 .. t_steps
+  double drift_sigma = 0.0;        ///< per-step random walk, genome units
+  double observation_noise = 0.0;  ///< boundary flip probability, [0,1)
+  CellIndex ignition{0, 0};        ///< outbreak cell (ignites at t = 0)
+};
+
+struct GroundTruth {
+  /// fire_lines[i] is the observed ignition map at t_i = i * step_minutes,
+  /// for i = 0 (just the outbreak) through `steps`.
+  std::vector<firelib::IgnitionMap> fire_lines;
+  /// Hidden scenario in force during (t_{i-1}, t_i]; index 0 unused filler.
+  std::vector<firelib::Scenario> scenario_at;
+  double step_minutes = 0.0;
+
+  int steps() const { return static_cast<int>(fire_lines.size()) - 1; }
+  double time_of(int step) const { return step * step_minutes; }
+};
+
+/// Simulate the hidden fire over `config.steps` steps on `env`.
+GroundTruth generate_ground_truth(const firelib::FireEnvironment& env,
+                                  const GroundTruthConfig& config, Rng& rng);
+
+/// Variant with an explicit per-step scenario sequence (e.g. from
+/// synth::diurnal_scenarios) instead of the random-walk drift;
+/// `per_step[i]` governs the interval (t_i, t_{i+1}]. Must provide at least
+/// `config.steps` scenarios; config.hidden and drift_sigma are ignored.
+GroundTruth generate_ground_truth(
+    const firelib::FireEnvironment& env, const GroundTruthConfig& config,
+    std::span<const firelib::Scenario> per_step, Rng& rng);
+
+}  // namespace essns::synth

@@ -1,0 +1,106 @@
+#include "synth/weather.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace essns::synth {
+namespace {
+
+// Smooth diurnal interpolation: minimum at 03:00, maximum at 15:00.
+double diurnal_wave(double hour) {
+  // cos is 1 at the peak hour (15:00) and -1 twelve hours away.
+  return std::cos((hour - 15.0) / 24.0 * 2.0 * std::numbers::pi);
+}
+
+}  // namespace
+
+WeatherSample diurnal_weather(const DiurnalWeatherConfig& config, double hour,
+                              Rng& rng) {
+  ESSNS_REQUIRE(hour >= 0.0 && hour < 24.0, "hour must lie in [0, 24)");
+  ESSNS_REQUIRE(config.temp_max_f >= config.temp_min_f &&
+                    config.rh_max_pct >= config.rh_min_pct,
+                "weather extremes must be ordered");
+  const double wave = diurnal_wave(hour);  // -1 .. 1, peak mid-afternoon
+  WeatherSample sample;
+  sample.hour = hour;
+  sample.temperature_f =
+      config.temp_min_f +
+      (config.temp_max_f - config.temp_min_f) * (wave + 1.0) / 2.0;
+  // Humidity runs opposite to temperature.
+  sample.humidity_pct =
+      config.rh_max_pct -
+      (config.rh_max_pct - config.rh_min_pct) * (wave + 1.0) / 2.0;
+  sample.wind_speed_mph =
+      std::max(0.0, config.wind_base_mph +
+                        config.wind_diurnal_mph * (wave + 1.0) / 2.0 +
+                        rng.normal(0.0, config.gust_sigma_mph));
+  double dir = config.wind_dir_deg + rng.normal(0.0, config.dir_sigma_deg);
+  dir = std::fmod(dir, 360.0);
+  if (dir < 0.0) dir += 360.0;
+  sample.wind_dir_deg = dir;
+  return sample;
+}
+
+double fine_dead_fuel_moisture(double temperature_f, double humidity_pct) {
+  ESSNS_REQUIRE(humidity_pct >= 0.0 && humidity_pct <= 100.0,
+                "humidity must be a percentage");
+  const double h = humidity_pct;
+  // Simard (1968) piecewise equilibrium-moisture regression (percent),
+  // as used by the NFDRS/BEHAVE fuel moisture tables.
+  double emc;
+  if (h < 10.0) {
+    emc = 0.03 + 0.2626 * h - 0.00104 * h * temperature_f;
+  } else if (h < 50.0) {
+    emc = 1.76 + 0.1601 * h - 0.0266 * temperature_f;
+  } else {
+    emc = 21.0606 + 0.005565 * h * h - 0.00035 * h * temperature_f -
+          0.483199 * h;
+  }
+  return std::max(1.0, emc);
+}
+
+double timelag_response(double current_pct, double equilibrium_pct,
+                        double dt_hours, double lag_hours) {
+  ESSNS_REQUIRE(dt_hours >= 0.0 && lag_hours > 0.0,
+                "time intervals must be positive");
+  const double alpha = 1.0 - std::exp(-dt_hours / lag_hours);
+  return current_pct + alpha * (equilibrium_pct - current_pct);
+}
+
+std::vector<firelib::Scenario> diurnal_scenarios(
+    const DiurnalWeatherConfig& config, const firelib::Scenario& base,
+    double start_hour, double step_minutes, int steps, Rng& rng) {
+  ESSNS_REQUIRE(steps >= 1, "need at least one step");
+  ESSNS_REQUIRE(step_minutes > 0.0, "step length must be positive");
+  const auto& space = firelib::ScenarioSpace::table1();
+  ESSNS_REQUIRE(space.is_valid(base), "base scenario must be valid");
+
+  std::vector<firelib::Scenario> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  double m1 = base.m1, m10 = base.m10, m100 = base.m100;
+  const double dt_hours = step_minutes / 60.0;
+
+  for (int i = 0; i < steps; ++i) {
+    const double hour =
+        std::fmod(start_hour + dt_hours * i, 24.0);
+    const WeatherSample weather = diurnal_weather(config, hour, rng);
+    const double emc =
+        fine_dead_fuel_moisture(weather.temperature_f, weather.humidity_pct);
+    m1 = timelag_response(m1, emc, dt_hours, 1.0);
+    m10 = timelag_response(m10, emc, dt_hours, 10.0);
+    m100 = timelag_response(m100, emc, dt_hours, 100.0);
+
+    firelib::Scenario s = base;
+    s.wind_speed = weather.wind_speed_mph;
+    s.wind_dir = weather.wind_dir_deg;
+    s.m1 = m1;
+    s.m10 = m10;
+    s.m100 = m100;
+    out.push_back(space.clamp(s));
+  }
+  return out;
+}
+
+}  // namespace essns::synth

@@ -1,0 +1,61 @@
+// Diurnal weather and dead-fuel moisture response.
+//
+// The paper's motivation (§I) is that moistures and wind "have a dynamic
+// behavior and their observation in real time is not feasible". The
+// wind_shift workload models this with a random walk; this module provides a
+// physically-grounded alternative: a diurnal temperature/humidity cycle
+// drives the dead fuel moistures through the standard fire-behaviour
+// field tables (NWCG/BEHAVE fine-fuel moisture with timelag smoothing),
+// producing the characteristic afternoon fire-activity peak.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "firelib/scenario.hpp"
+
+namespace essns::synth {
+
+/// Instantaneous surface weather.
+struct WeatherSample {
+  double hour = 12.0;           ///< local time of day, [0, 24)
+  double temperature_f = 70.0;  ///< air temperature, deg F
+  double humidity_pct = 40.0;   ///< relative humidity, percent
+  double wind_speed_mph = 5.0;
+  double wind_dir_deg = 0.0;
+};
+
+struct DiurnalWeatherConfig {
+  double temp_min_f = 55.0;      ///< pre-dawn minimum (~03:00)
+  double temp_max_f = 90.0;      ///< afternoon maximum (~15:00)
+  double rh_min_pct = 15.0;      ///< afternoon minimum
+  double rh_max_pct = 70.0;      ///< pre-dawn maximum
+  double wind_base_mph = 8.0;
+  double wind_diurnal_mph = 6.0;  ///< extra afternoon wind
+  double wind_dir_deg = 90.0;
+  double gust_sigma_mph = 1.5;    ///< random gusting per sample
+  double dir_sigma_deg = 10.0;    ///< random direction wobble per sample
+};
+
+/// Deterministic-plus-noise weather at local `hour` (0-24).
+WeatherSample diurnal_weather(const DiurnalWeatherConfig& config, double hour,
+                              Rng& rng);
+
+/// Equilibrium fine dead fuel moisture (percent) from temperature and
+/// humidity — the Simard (1968) regression used by the fire-danger tables.
+double fine_dead_fuel_moisture(double temperature_f, double humidity_pct);
+
+/// Timelag response: moisture moves toward the equilibrium with rate
+/// 1 - exp(-dt/lag). `lag_hours` is 1, 10 or 100 for the standard classes.
+double timelag_response(double current_pct, double equilibrium_pct,
+                        double dt_hours, double lag_hours);
+
+/// Scenario sequence for `steps` prediction steps of `step_minutes` each,
+/// starting at `start_hour`: wind follows the diurnal cycle and the dead
+/// moistures integrate the timelag responses. The fuel model, live moisture,
+/// slope and aspect come from `base`.
+std::vector<firelib::Scenario> diurnal_scenarios(
+    const DiurnalWeatherConfig& config, const firelib::Scenario& base,
+    double start_hour, double step_minutes, int steps, Rng& rng);
+
+}  // namespace essns::synth

@@ -1,0 +1,54 @@
+// Named benchmark burn cases used across tests, examples and experiments.
+//
+// Each workload bundles a terrain (FireEnvironment) with a ground-truth
+// configuration. The three cases mirror the regimes the ESS-family papers
+// evaluate on and the failure modes the paper's introduction motivates:
+//   * plains     — homogeneous grassland, stationary conditions: the easy
+//                  case every method should solve;
+//   * hills      — fractal topography with a fuel mosaic: heterogeneous
+//                  spread, harder inverse problem;
+//   * wind_shift — hidden wind direction/speed drifts every step: the
+//                  non-stationary case where converged populations go stale
+//                  and the bestSet diversity of ESS-NS should pay off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "firelib/environment.hpp"
+#include "synth/ground_truth.hpp"
+
+namespace essns::synth {
+
+struct Workload {
+  std::string name;
+  firelib::FireEnvironment environment;
+  GroundTruthConfig truth_config;
+  /// Optional explicit per-step hidden scenarios (overrides random drift).
+  std::vector<firelib::Scenario> scenario_sequence;
+};
+
+/// Homogeneous short-grass plain (NFFL model 1), steady moderate wind.
+Workload make_plains(int size = 64, std::uint64_t seed = 11);
+
+/// Fractal DEM with grass/brush/timber fuel mosaic.
+Workload make_hills(int size = 64, std::uint64_t seed = 23);
+
+/// Plains terrain whose hidden wind drifts each step (drift_sigma > 0).
+Workload make_wind_shift(int size = 64, std::uint64_t seed = 37);
+
+/// All three standard workloads (the EXP-Q benchmark suite).
+std::vector<Workload> standard_workloads(int size = 64);
+
+/// Plains terrain driven by a diurnal weather cycle (synth/weather.hpp):
+/// the hidden scenario follows physically-plausible temperature/humidity/
+/// wind dynamics instead of a random walk. Use generate_truth() to build
+/// its ground truth (it carries a per-step scenario sequence).
+Workload make_diurnal(int size = 64, std::uint64_t seed = 53,
+                      double start_hour = 10.0);
+
+/// Build the ground truth for any workload, dispatching to the per-step
+/// scenario sequence when the workload carries one.
+GroundTruth generate_truth(const Workload& workload, Rng& rng);
+
+}  // namespace essns::synth

@@ -1,0 +1,113 @@
+#include "common/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace essns {
+namespace {
+
+TEST(GridTest, DefaultConstructedIsEmpty) {
+  Grid<int> g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.rows(), 0);
+  EXPECT_EQ(g.cols(), 0);
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(GridTest, ConstructsWithFillValue) {
+  Grid<double> g(3, 4, 2.5);
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.cols(), 4);
+  EXPECT_EQ(g.size(), 12u);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(g(r, c), 2.5);
+}
+
+TEST(GridTest, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(Grid<int>(0, 5), InvalidArgument);
+  EXPECT_THROW(Grid<int>(5, 0), InvalidArgument);
+  EXPECT_THROW(Grid<int>(-1, 5), InvalidArgument);
+}
+
+TEST(GridTest, ElementAccessRoundTrips) {
+  Grid<int> g(2, 3);
+  g(1, 2) = 42;
+  EXPECT_EQ(g(1, 2), 42);
+  EXPECT_EQ(g.at(1, 2), 42);
+}
+
+TEST(GridTest, AtThrowsOutOfBounds) {
+  Grid<int> g(2, 2);
+  EXPECT_THROW(g.at(2, 0), InvalidArgument);
+  EXPECT_THROW(g.at(0, 2), InvalidArgument);
+  EXPECT_THROW(g.at(-1, 0), InvalidArgument);
+  const Grid<int>& cg = g;
+  EXPECT_THROW(cg.at(0, -1), InvalidArgument);
+}
+
+TEST(GridTest, InBounds) {
+  Grid<int> g(2, 3);
+  EXPECT_TRUE(g.in_bounds(0, 0));
+  EXPECT_TRUE(g.in_bounds(1, 2));
+  EXPECT_FALSE(g.in_bounds(2, 0));
+  EXPECT_FALSE(g.in_bounds(0, 3));
+  EXPECT_FALSE(g.in_bounds(-1, 0));
+  EXPECT_TRUE(g.in_bounds(CellIndex{1, 1}));
+}
+
+TEST(GridTest, RowMajorLayout) {
+  Grid<int> g(2, 3);
+  int v = 0;
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c) g(r, c) = v++;
+  const int* data = g.data();
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(data[i], i);
+}
+
+TEST(GridTest, IndexOfAndCellOfAreInverse) {
+  Grid<int> g(5, 7);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 7; ++c) {
+      const auto linear = g.index_of(r, c);
+      const CellIndex cell = g.cell_of(linear);
+      EXPECT_EQ(cell.row, r);
+      EXPECT_EQ(cell.col, c);
+    }
+  }
+}
+
+TEST(GridTest, FillOverwritesAll) {
+  Grid<int> g(3, 3, 1);
+  g.fill(9);
+  for (int v : g) EXPECT_EQ(v, 9);
+}
+
+TEST(GridTest, CountIf) {
+  Grid<int> g(2, 2);
+  g(0, 0) = 5;
+  g(1, 1) = 5;
+  EXPECT_EQ(g.count_if([](int v) { return v == 5; }), 2u);
+}
+
+TEST(GridTest, EqualityComparesContents) {
+  Grid<int> a(2, 2, 1);
+  Grid<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(0, 0) = 2;
+  EXPECT_NE(a, b);
+}
+
+TEST(GridTest, EightNeighboursAreDistinctUnitOffsets) {
+  for (std::size_t i = 0; i < kEightNeighbours.size(); ++i) {
+    const auto& d = kEightNeighbours[i];
+    EXPECT_TRUE(d.row != 0 || d.col != 0);
+    EXPECT_LE(std::abs(d.row), 1);
+    EXPECT_LE(std::abs(d.col), 1);
+    for (std::size_t j = i + 1; j < kEightNeighbours.size(); ++j)
+      EXPECT_FALSE(d == kEightNeighbours[j]);
+  }
+}
+
+}  // namespace
+}  // namespace essns

@@ -1,0 +1,75 @@
+#include "common/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace essns {
+namespace {
+
+TEST(StatisticsTest, MeanOfConstants) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+}
+
+TEST(StatisticsTest, MeanSimple) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(StatisticsTest, MeanOfEmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(mean(xs), InvalidArgument);
+}
+
+TEST(StatisticsTest, VarianceUnbiased) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatisticsTest, VarianceNeedsTwoSamples) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(variance(xs), InvalidArgument);
+}
+
+TEST(StatisticsTest, StddevIsSqrtVariance) {
+  const std::vector<double> xs{1.0, 3.0};
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatisticsTest, QuantileEndpoints) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(StatisticsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatisticsTest, QuantileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(StatisticsTest, QuantileRejectsOutOfRange) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, -0.1), InvalidArgument);
+  EXPECT_THROW(quantile(xs, 1.1), InvalidArgument);
+}
+
+TEST(StatisticsTest, IqrOfUniformSequence) {
+  // 1..9: Q1 = 3, Q3 = 7 (type-7), IQR = 4.
+  std::vector<double> xs;
+  for (int i = 1; i <= 9; ++i) xs.push_back(i);
+  EXPECT_DOUBLE_EQ(iqr(xs), 4.0);
+}
+
+TEST(StatisticsTest, IqrOfConstantIsZero) {
+  const std::vector<double> xs{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(iqr(xs), 0.0);
+}
+
+}  // namespace
+}  // namespace essns

@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace essns {
+namespace {
+
+TEST(TextTableTest, RendersTitleHeaderAndRows) {
+  TextTable t("Demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("| a | bb |"), std::string::npos);
+  EXPECT_NE(out.find("| 1 | 2  |"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsColumnsToWidestCell) {
+  TextTable t("");
+  t.set_header({"x"});
+  t.add_row({"wide-cell"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| x         |"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsMismatchedRowWidth) {
+  TextTable t("t");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTableTest, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(2.0, 3), "2.000");
+  EXPECT_EQ(TextTable::integer(42), "42");
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t("t");
+  t.set_header({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, EmptyTableStillRenders) {
+  TextTable t("empty");
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("== empty =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace essns

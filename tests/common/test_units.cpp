@@ -1,0 +1,41 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace essns::units {
+namespace {
+
+TEST(UnitsTest, MphToFeetPerMinute) {
+  // 60 mph = 5280 ft/min.
+  EXPECT_DOUBLE_EQ(mph_to_ft_per_min(60.0), 5280.0);
+  EXPECT_DOUBLE_EQ(mph_to_ft_per_min(0.0), 0.0);
+}
+
+TEST(UnitsTest, MphRoundTrip) {
+  EXPECT_NEAR(ft_per_min_to_mph(mph_to_ft_per_min(13.7)), 13.7, 1e-12);
+}
+
+TEST(UnitsTest, TonsPerAcreToLbPerFt2) {
+  // 1 ton/acre = 2000 lb / 43560 ft^2.
+  EXPECT_NEAR(tons_per_acre_to_lb_per_ft2(1.0), 2000.0 / 43560.0, 1e-7);
+}
+
+TEST(UnitsTest, DegreesRadiansRoundTrip) {
+  EXPECT_NEAR(radians_to_degrees(degrees_to_radians(123.4)), 123.4, 1e-12);
+  EXPECT_NEAR(degrees_to_radians(180.0), 3.14159265358979, 1e-10);
+}
+
+TEST(UnitsTest, PercentToFraction) {
+  EXPECT_DOUBLE_EQ(percent_to_fraction(25.0), 0.25);
+  EXPECT_DOUBLE_EQ(percent_to_fraction(100.0), 1.0);
+}
+
+TEST(UnitsTest, SlopeDegreesToRatio) {
+  EXPECT_NEAR(slope_degrees_to_ratio(45.0), 1.0, 1e-12);
+  EXPECT_NEAR(slope_degrees_to_ratio(0.0), 0.0, 1e-12);
+  // 30 degrees: tan = 1/sqrt(3).
+  EXPECT_NEAR(slope_degrees_to_ratio(30.0), 0.5773502691896258, 1e-12);
+}
+
+}  // namespace
+}  // namespace essns::units

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/archive.hpp"
+
+namespace essns::core {
+namespace {
+
+ea::Individual make(double novelty, double gene) {
+  ea::Individual ind;
+  ind.genome = {gene};
+  ind.fitness = 0.5;
+  ind.novelty = novelty;
+  return ind;
+}
+
+ArchiveConfig adaptive(double initial_threshold, std::size_t window = 8) {
+  ArchiveConfig cfg;
+  cfg.policy = ArchivePolicy::kAdaptiveThreshold;
+  cfg.capacity = 100;
+  cfg.novelty_threshold = initial_threshold;
+  cfg.adapt_window = window;
+  cfg.adapt_up = 1.5;
+  cfg.adapt_down = 0.5;
+  return cfg;
+}
+
+TEST(AdaptiveArchiveTest, StartsAtConfiguredThreshold) {
+  NoveltyArchive archive(adaptive(0.3));
+  EXPECT_DOUBLE_EQ(archive.current_threshold(), 0.3);
+}
+
+TEST(AdaptiveArchiveTest, ThresholdRisesUnderHeavyAdmission) {
+  NoveltyArchive archive(adaptive(0.1, 8));
+  // All candidates far above threshold: every one admitted -> after the
+  // window the threshold must rise (0.1 * 1.5).
+  std::vector<ea::Individual> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(make(0.9, 0.01 * i));
+  archive.update(batch);
+  EXPECT_NEAR(archive.current_threshold(), 0.15, 1e-12);
+  EXPECT_EQ(archive.size(), 8u);
+}
+
+TEST(AdaptiveArchiveTest, ThresholdDecaysWhenNothingAdmitted) {
+  NoveltyArchive archive(adaptive(0.8, 8));
+  std::vector<ea::Individual> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(make(0.1, 0.01 * i));
+  archive.update(batch);
+  EXPECT_NEAR(archive.current_threshold(), 0.4, 1e-12);  // 0.8 * 0.5
+  EXPECT_TRUE(archive.empty());
+}
+
+TEST(AdaptiveArchiveTest, ModerateAdmissionKeepsThreshold) {
+  NoveltyArchive archive(adaptive(0.5, 8));
+  // 1 admission out of 8 (= not more than window/4, not zero): unchanged.
+  std::vector<ea::Individual> batch;
+  batch.push_back(make(0.9, 0.0));
+  for (int i = 0; i < 7; ++i) batch.push_back(make(0.1, 0.1 * i));
+  archive.update(batch);
+  EXPECT_DOUBLE_EQ(archive.current_threshold(), 0.5);
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(AdaptiveArchiveTest, ZeroInitialThresholdBootstraps) {
+  NoveltyArchive archive(adaptive(0.0, 4));
+  std::vector<ea::Individual> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(make(0.5, 0.1 * i));
+  archive.update(batch);
+  // Threshold starts at the bootstrap value instead of staying 0 forever.
+  EXPECT_GT(archive.current_threshold(), 0.0);
+}
+
+TEST(AdaptiveArchiveTest, EventuallyStabilizesAdmissionRate) {
+  NoveltyArchive archive(adaptive(0.01, 16));
+  Rng rng(3);
+  // Long stream of uniformly novel candidates: the threshold should climb
+  // until admissions stop being "heavy" — i.e. it self-tunes into the
+  // distribution's upper quantile region.
+  for (int round = 0; round < 100; ++round) {
+    std::vector<ea::Individual> batch;
+    for (int i = 0; i < 16; ++i)
+      batch.push_back(make(rng.uniform(), rng.uniform()));
+    archive.update(batch);
+  }
+  EXPECT_GT(archive.current_threshold(), 0.2);
+  EXPECT_LT(archive.current_threshold(), 2.0);
+}
+
+TEST(AdaptiveArchiveTest, RespectsCapacity) {
+  ArchiveConfig cfg = adaptive(0.0, 4);
+  cfg.capacity = 5;
+  NoveltyArchive archive(cfg);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<ea::Individual> batch;
+    for (int i = 0; i < 4; ++i) batch.push_back(make(10.0, 0.1 * i));
+    archive.update(batch);
+  }
+  EXPECT_LE(archive.size(), 5u);
+}
+
+TEST(AdaptiveArchiveTest, RejectsBadTuning) {
+  ArchiveConfig bad = adaptive(0.1);
+  bad.adapt_window = 0;
+  EXPECT_THROW(NoveltyArchive{bad}, InvalidArgument);
+  bad = adaptive(0.1);
+  bad.adapt_up = 0.9;
+  EXPECT_THROW(NoveltyArchive{bad}, InvalidArgument);
+  bad = adaptive(0.1);
+  bad.adapt_down = 1.1;
+  EXPECT_THROW(NoveltyArchive{bad}, InvalidArgument);
+}
+
+TEST(AdaptiveArchiveTest, PlainThresholdPolicyUnaffectedByAdaptation) {
+  ArchiveConfig cfg;
+  cfg.policy = ArchivePolicy::kThreshold;
+  cfg.capacity = 10;
+  cfg.novelty_threshold = 0.5;
+  NoveltyArchive archive(cfg);
+  std::vector<ea::Individual> batch;
+  for (int i = 0; i < 40; ++i) batch.push_back(make(0.9, 0.01 * i));
+  archive.update(batch);
+  EXPECT_DOUBLE_EQ(archive.current_threshold(), 0.5);  // static policy
+}
+
+}  // namespace
+}  // namespace essns::core

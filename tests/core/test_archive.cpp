@@ -1,0 +1,172 @@
+#include "core/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace essns::core {
+namespace {
+
+ea::Individual make(double fitness, double novelty, double gene = 0.5) {
+  ea::Individual ind;
+  ind.genome = {gene};
+  ind.fitness = fitness;
+  ind.novelty = novelty;
+  return ind;
+}
+
+std::vector<ea::Individual> batch(std::initializer_list<double> novelties) {
+  std::vector<ea::Individual> out;
+  double gene = 0.0;
+  for (double n : novelties) out.push_back(make(0.5, n, gene += 0.01));
+  return out;
+}
+
+TEST(NoveltyArchiveTest, FillsToCapacity) {
+  NoveltyArchive archive({ArchivePolicy::kNoveltyRanked, 3, 0.0});
+  archive.update(batch({0.1, 0.2}));
+  EXPECT_EQ(archive.size(), 2u);
+  archive.update(batch({0.3}));
+  EXPECT_EQ(archive.size(), 3u);
+}
+
+TEST(NoveltyArchiveTest, NoveltyRankedKeepsMostNovel) {
+  NoveltyArchive archive({ArchivePolicy::kNoveltyRanked, 3, 0.0});
+  archive.update(batch({0.1, 0.5, 0.3, 0.9, 0.05, 0.7}));
+  ASSERT_EQ(archive.size(), 3u);
+  std::vector<double> kept;
+  for (const auto& ind : archive.items()) kept.push_back(ind.novelty);
+  std::sort(kept.begin(), kept.end());
+  EXPECT_EQ(kept, (std::vector<double>{0.5, 0.7, 0.9}));
+  EXPECT_DOUBLE_EQ(archive.min_novelty(), 0.5);
+}
+
+TEST(NoveltyArchiveTest, NoveltyRankedRejectsWeakerThanFrontier) {
+  NoveltyArchive archive({ArchivePolicy::kNoveltyRanked, 2, 0.0});
+  archive.update(batch({0.8, 0.9}));
+  archive.update(batch({0.5}));  // below frontier: dropped
+  std::vector<double> kept;
+  for (const auto& ind : archive.items()) kept.push_back(ind.novelty);
+  std::sort(kept.begin(), kept.end());
+  EXPECT_EQ(kept, (std::vector<double>{0.8, 0.9}));
+}
+
+TEST(NoveltyArchiveTest, RandomPolicyBoundedAndEventuallyReplaces) {
+  NoveltyArchive archive({ArchivePolicy::kRandom, 4, 0.0}, /*seed=*/3);
+  archive.update(batch({0.1, 0.2, 0.3, 0.4}));
+  // Push many marked individuals; random replacement must let some in.
+  std::vector<ea::Individual> marked;
+  for (int i = 0; i < 50; ++i) marked.push_back(make(0.5, 99.0));
+  archive.update(marked);
+  EXPECT_EQ(archive.size(), 4u);
+  const bool any_marked =
+      std::any_of(archive.items().begin(), archive.items().end(),
+                  [](const auto& ind) { return ind.novelty == 99.0; });
+  EXPECT_TRUE(any_marked);
+}
+
+TEST(NoveltyArchiveTest, ThresholdPolicyFiltersAdmission) {
+  NoveltyArchive archive({ArchivePolicy::kThreshold, 10, 0.5});
+  archive.update(batch({0.4, 0.5, 0.6, 0.9}));
+  // Only strictly-above-threshold individuals admitted.
+  EXPECT_EQ(archive.size(), 2u);
+  for (const auto& ind : archive.items()) EXPECT_GT(ind.novelty, 0.5);
+}
+
+TEST(NoveltyArchiveTest, ThresholdPolicyEvictsOldestWhenFull) {
+  NoveltyArchive archive({ArchivePolicy::kThreshold, 2, 0.0});
+  auto first = batch({1.0});
+  first[0].genome = {0.111};
+  archive.update(first);
+  archive.update(batch({2.0, 3.0}));
+  EXPECT_EQ(archive.size(), 2u);
+  for (const auto& ind : archive.items())
+    EXPECT_NE(ind.genome[0], 0.111);  // the oldest entry was evicted
+}
+
+TEST(NoveltyArchiveTest, UnboundedGrowsWithoutLimit) {
+  NoveltyArchive archive({ArchivePolicy::kUnbounded, 1, 0.0});
+  for (int i = 0; i < 20; ++i) archive.update(batch({0.1}));
+  EXPECT_EQ(archive.size(), 20u);
+}
+
+TEST(NoveltyArchiveTest, RejectsZeroCapacityWhenBounded) {
+  EXPECT_THROW(NoveltyArchive({ArchivePolicy::kNoveltyRanked, 0, 0.0}),
+               InvalidArgument);
+}
+
+TEST(NoveltyArchiveTest, EmptyArchiveMinNoveltyZero) {
+  NoveltyArchive archive;
+  EXPECT_TRUE(archive.empty());
+  EXPECT_DOUBLE_EQ(archive.min_novelty(), 0.0);
+}
+
+TEST(BestSetTest, KeepsHighestFitness) {
+  BestSet best(3);
+  std::vector<ea::Individual> c{make(0.1, 0, 0.1), make(0.9, 0, 0.2),
+                                make(0.5, 0, 0.3), make(0.7, 0, 0.4),
+                                make(0.3, 0, 0.5)};
+  best.update(c);
+  ASSERT_EQ(best.size(), 3u);
+  EXPECT_DOUBLE_EQ(best.max_fitness(), 0.9);
+  EXPECT_DOUBLE_EQ(best.min_fitness(), 0.5);
+}
+
+TEST(BestSetTest, SortedDescendingByFitness) {
+  BestSet best(4);
+  best.update(std::vector<ea::Individual>{make(0.2, 0, 0.1), make(0.8, 0, 0.2),
+                                          make(0.5, 0, 0.3)});
+  const auto& items = best.items();
+  for (std::size_t i = 1; i < items.size(); ++i)
+    EXPECT_GE(items[i - 1].fitness, items[i].fitness);
+}
+
+TEST(BestSetTest, AccumulatesAcrossUpdates) {
+  // The defining ESS-NS property: solutions from *different* generations
+  // survive in the result set even after the population moved on.
+  BestSet best(2);
+  best.update(std::vector<ea::Individual>{make(0.6, 0, 0.1)});
+  best.update(std::vector<ea::Individual>{make(0.2, 0, 0.2)});
+  best.update(std::vector<ea::Individual>{make(0.8, 0, 0.3)});
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_DOUBLE_EQ(best.items()[0].fitness, 0.8);
+  EXPECT_DOUBLE_EQ(best.items()[1].fitness, 0.6);
+}
+
+TEST(BestSetTest, IgnoresUnevaluated) {
+  BestSet best(2);
+  ea::Individual raw;
+  raw.genome = {0.5};
+  best.update(std::vector<ea::Individual>{raw});
+  EXPECT_TRUE(best.empty());
+}
+
+TEST(BestSetTest, DuplicateGenomesOccupyOneSlot) {
+  BestSet best(3);
+  best.update(std::vector<ea::Individual>{make(0.5, 0, 0.7)});
+  best.update(std::vector<ea::Individual>{make(0.6, 0, 0.7)});  // same genome
+  EXPECT_EQ(best.size(), 1u);
+  EXPECT_DOUBLE_EQ(best.max_fitness(), 0.6);  // kept the better copy
+}
+
+TEST(BestSetTest, EmptyMaxFitnessIsMinusInfinity) {
+  BestSet best(2);
+  EXPECT_EQ(best.max_fitness(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(best.min_fitness(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(BestSetTest, RejectsZeroCapacity) {
+  EXPECT_THROW(BestSet(0), InvalidArgument);
+}
+
+TEST(BestSetTest, WeakCandidateDoesNotEvictStronger) {
+  BestSet best(2);
+  best.update(std::vector<ea::Individual>{make(0.8, 0, 0.1), make(0.9, 0, 0.2)});
+  best.update(std::vector<ea::Individual>{make(0.1, 0, 0.3)});
+  EXPECT_DOUBLE_EQ(best.min_fitness(), 0.8);
+}
+
+}  // namespace
+}  // namespace essns::core

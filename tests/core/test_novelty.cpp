@@ -1,0 +1,139 @@
+#include "core/novelty.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace essns::core {
+namespace {
+
+ea::Individual make(double fitness, ea::Genome genome = {0.5}) {
+  ea::Individual ind;
+  ind.genome = std::move(genome);
+  ind.fitness = fitness;
+  return ind;
+}
+
+TEST(FitnessDistanceTest, AbsoluteDifference) {
+  EXPECT_DOUBLE_EQ(fitness_distance(make(0.3), make(0.8)), 0.5);
+  EXPECT_DOUBLE_EQ(fitness_distance(make(0.8), make(0.3)), 0.5);  // symmetric
+  EXPECT_DOUBLE_EQ(fitness_distance(make(0.4), make(0.4)), 0.0);
+}
+
+TEST(FitnessDistanceTest, RequiresEvaluated) {
+  ea::Individual unevaluated;
+  unevaluated.genome = {0.5};
+  EXPECT_THROW(fitness_distance(make(0.5), unevaluated), InvalidArgument);
+}
+
+TEST(GenotypicDistanceTest, MatchesGenomeDistance) {
+  const auto a = make(0.1, {0.0, 0.0});
+  const auto b = make(0.9, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(genotypic_distance(a, b), 5.0);
+}
+
+TEST(BlendedDistanceTest, EndpointsMatchComponents) {
+  const auto a = make(0.2, {0.0, 0.0});
+  const auto b = make(0.6, {0.3, 0.4});
+  EXPECT_DOUBLE_EQ(blended_distance(1.0)(a, b), 0.4);   // pure fitness
+  EXPECT_DOUBLE_EQ(blended_distance(0.0)(a, b), 0.5);   // pure genotype
+  EXPECT_NEAR(blended_distance(0.5)(a, b), 0.45, 1e-12);
+}
+
+TEST(BlendedDistanceTest, RejectsBadWeight) {
+  EXPECT_THROW(blended_distance(-0.1), InvalidArgument);
+  EXPECT_THROW(blended_distance(1.1), InvalidArgument);
+}
+
+TEST(NoveltyScoreTest, MeanOfKNearestFitnessDistances) {
+  // Eq. (1) hand-computed: x fitness 0.5, refs at 0.1/0.4/0.45/0.9.
+  // Distances: 0.4, 0.1, 0.05, 0.4 -> 2 nearest are 0.05, 0.1 -> mean 0.075.
+  const auto x = make(0.5, {0.9});
+  std::vector<ea::Individual> refs{make(0.1, {0.1}), make(0.4, {0.2}),
+                                   make(0.45, {0.3}), make(0.9, {0.4})};
+  EXPECT_NEAR(novelty_score(x, refs, 2), 0.075, 1e-12);
+}
+
+TEST(NoveltyScoreTest, KLargerThanSetUsesAll) {
+  const auto x = make(0.5, {0.9});
+  std::vector<ea::Individual> refs{make(0.3, {0.1}), make(0.7, {0.2})};
+  // Distances 0.2, 0.2 -> mean 0.2 regardless of k >= 2.
+  EXPECT_NEAR(novelty_score(x, refs, 10), 0.2, 1e-12);
+}
+
+TEST(NoveltyScoreTest, KNonPositiveUsesWholeSet) {
+  // The §II-C "entire population" variant.
+  const auto x = make(0.5, {0.9});
+  std::vector<ea::Individual> refs{make(0.1, {0.1}), make(0.4, {0.2}),
+                                   make(0.9, {0.3})};
+  // Distances 0.4, 0.1, 0.4 -> mean 0.3.
+  EXPECT_NEAR(novelty_score(x, refs, 0), 0.3, 1e-12);
+  EXPECT_NEAR(novelty_score(x, refs, -5), 0.3, 1e-12);
+}
+
+TEST(NoveltyScoreTest, SkipsExactlyOneSelfCopy) {
+  // x appears in the reference set (as Algorithm 1 builds noveltySet);
+  // its self-distance of 0 must not consume a neighbour slot.
+  const auto x = make(0.5, {0.9});
+  std::vector<ea::Individual> refs{x, make(0.2, {0.1}), make(0.7, {0.2})};
+  // Without self: distances 0.3, 0.2 -> k=2 mean 0.25.
+  EXPECT_NEAR(novelty_score(x, refs, 2), 0.25, 1e-12);
+}
+
+TEST(NoveltyScoreTest, TrueDuplicateIndividualsStillCount) {
+  // Two *other* individuals with identical behaviour both count; only one
+  // self copy is skipped.
+  const auto x = make(0.5, {0.9});
+  std::vector<ea::Individual> refs{x, x, make(0.7, {0.2})};
+  // One x skipped; remaining distances: 0.0 (the duplicate) and 0.2.
+  EXPECT_NEAR(novelty_score(x, refs, 2), 0.1, 1e-12);
+}
+
+TEST(NoveltyScoreTest, EmptyReferenceScoresZero) {
+  const auto x = make(0.5);
+  EXPECT_DOUBLE_EQ(novelty_score(x, {}, 3), 0.0);
+  std::vector<ea::Individual> only_self{x};
+  EXPECT_DOUBLE_EQ(novelty_score(x, only_self, 3), 0.0);
+}
+
+TEST(NoveltyScoreTest, OutlierScoresHigherThanClusterMember) {
+  std::vector<ea::Individual> cluster;
+  for (int i = 0; i < 10; ++i)
+    cluster.push_back(make(0.5 + 0.001 * i, {0.1 * i}));
+  const auto member = make(0.5005, {0.95});
+  const auto outlier = make(0.95, {0.96});
+  EXPECT_GT(novelty_score(outlier, cluster, 5),
+            novelty_score(member, cluster, 5));
+}
+
+TEST(NoveltyScoreTest, GenotypicDistanceVariant) {
+  const auto x = make(0.5, {0.0, 0.0});
+  std::vector<ea::Individual> refs{make(0.5, {1.0, 0.0}),
+                                   make(0.5, {0.0, 2.0})};
+  // Fitness distance would be 0; genotypic is (1 + 2) / 2.
+  EXPECT_DOUBLE_EQ(novelty_score(x, refs, 2, genotypic_distance), 1.5);
+  EXPECT_DOUBLE_EQ(novelty_score(x, refs, 2, fitness_distance), 0.0);
+}
+
+TEST(EvaluateNoveltyTest, ScoresWholePopulationInPlace) {
+  std::vector<ea::Individual> pop{make(0.1, {0.1}), make(0.5, {0.5}),
+                                  make(0.9, {0.9})};
+  std::vector<ea::Individual> reference = pop;
+  evaluate_novelty(pop, reference, 1);
+  // Nearest neighbours by fitness: 0.1->0.5 (0.4), 0.5->0.1 or 0.9 (0.4),
+  // 0.9->0.5 (0.4).
+  for (const auto& ind : pop) EXPECT_NEAR(ind.novelty, 0.4, 1e-12);
+}
+
+TEST(EvaluateNoveltyTest, MiddleIndividualLeastNovel) {
+  std::vector<ea::Individual> pop{make(0.0, {0.0}), make(0.5, {0.5}),
+                                  make(0.55, {0.6}), make(1.0, {1.0})};
+  std::vector<ea::Individual> reference = pop;
+  evaluate_novelty(pop, reference, 2);
+  // The 0.5/0.55 pair is crowded; endpoints are more novel.
+  EXPECT_GT(pop[0].novelty, pop[1].novelty);
+  EXPECT_GT(pop[3].novelty, pop[2].novelty);
+}
+
+}  // namespace
+}  // namespace essns::core

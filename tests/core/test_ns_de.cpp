@@ -1,0 +1,124 @@
+#include "core/ns_de.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ea/de.hpp"
+#include "ea/landscapes.hpp"
+
+namespace essns::core {
+namespace {
+
+namespace landscapes = ea::landscapes;
+
+TEST(NsDeTest, ReturnsBestSetSortedByFitness) {
+  Rng rng(1);
+  NsDeConfig cfg;
+  const NsDeResult r = run_ns_de(cfg, 4, landscapes::batch(landscapes::sphere),
+                                 {12, 2.0}, rng);
+  EXPECT_FALSE(r.best_set.empty());
+  for (std::size_t i = 1; i < r.best_set.size(); ++i)
+    EXPECT_GE(r.best_set[i - 1].fitness, r.best_set[i].fitness);
+  EXPECT_DOUBLE_EQ(r.max_fitness, r.best_set.front().fitness);
+  EXPECT_EQ(r.generations, 12);
+}
+
+TEST(NsDeTest, StoppingConditionsWork) {
+  Rng rng(2);
+  NsDeConfig cfg;
+  const NsDeResult r = run_ns_de(cfg, 3, landscapes::batch(landscapes::sphere),
+                                 {500, 0.5}, rng);
+  EXPECT_LT(r.generations, 500);
+  EXPECT_GE(r.max_fitness, 0.5);
+}
+
+TEST(NsDeTest, DeterministicForSameSeed) {
+  NsDeConfig cfg;
+  Rng a(7), b(7);
+  const auto ra = run_ns_de(cfg, 4, landscapes::batch(landscapes::rastrigin),
+                            {10, 2.0}, a);
+  const auto rb = run_ns_de(cfg, 4, landscapes::batch(landscapes::rastrigin),
+                            {10, 2.0}, b);
+  ASSERT_EQ(ra.best_set.size(), rb.best_set.size());
+  for (std::size_t i = 0; i < ra.best_set.size(); ++i)
+    EXPECT_EQ(ra.best_set[i].genome, rb.best_set[i].genome);
+}
+
+TEST(NsDeTest, PopulationStableAndInUnitBox) {
+  Rng rng(3);
+  NsDeConfig cfg;
+  cfg.population_size = 10;
+  cfg.differential_weight = 1.8;
+  const auto r = run_ns_de(cfg, 5, landscapes::batch(landscapes::sphere),
+                           {15, 2.0}, rng);
+  EXPECT_EQ(r.population.size(), 10u);
+  for (const auto& ind : r.population)
+    for (double g : ind.genome) {
+      EXPECT_GE(g, 0.0);
+      EXPECT_LE(g, 1.0);
+    }
+}
+
+TEST(NsDeTest, EvaluationAccounting) {
+  Rng rng(4);
+  NsDeConfig cfg;
+  cfg.population_size = 8;
+  std::size_t calls = 0;
+  const auto r =
+      run_ns_de(cfg, 3, landscapes::counting_batch(landscapes::sphere, &calls),
+                {5, 2.0}, rng);
+  EXPECT_EQ(r.evaluations, 8u + 5u * 8u);
+  EXPECT_EQ(calls, r.evaluations);
+}
+
+TEST(NsDeTest, BeatsPlainDeOnDeceptiveTrap) {
+  // The §IV variant keeps the paradigm's key property: exploration through
+  // novelty escapes the trap where greedy DE parks on the attractor.
+  constexpr double kEscaped = 0.81;
+  int ns_success = 0, de_success = 0;
+  for (int seed = 0; seed < 8; ++seed) {
+    Rng ns_rng(static_cast<std::uint64_t>(seed) * 97 + 11);
+    NsDeConfig ns_cfg;
+    ns_cfg.population_size = 24;
+    const auto ns =
+        run_ns_de(ns_cfg, 3, landscapes::batch(landscapes::deceptive_trap),
+                  {150, kEscaped}, ns_rng, genotypic_distance);
+    if (ns.max_fitness >= kEscaped) ++ns_success;
+
+    Rng de_rng(static_cast<std::uint64_t>(seed) * 97 + 11);
+    ea::DeConfig de_cfg;
+    de_cfg.population_size = 24;
+    const auto de =
+        ea::run_de(de_cfg, 3, landscapes::batch(landscapes::deceptive_trap),
+                   {150, kEscaped}, de_rng);
+    if (de.best.fitness >= kEscaped) ++de_success;
+  }
+  EXPECT_GT(ns_success, de_success);
+}
+
+TEST(NsDeTest, ObserverCalledPerGeneration) {
+  Rng rng(5);
+  NsDeConfig cfg;
+  int calls = 0;
+  run_ns_de(cfg, 3, landscapes::batch(landscapes::sphere), {4, 2.0}, rng,
+            fitness_distance,
+            [&](int gen, const ea::Population&) { EXPECT_EQ(gen, calls++); });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(NsDeTest, RejectsBadConfig) {
+  Rng rng(1);
+  NsDeConfig small;
+  small.population_size = 3;
+  EXPECT_THROW(run_ns_de(small, 2, landscapes::batch(landscapes::sphere),
+                         {1, 1.0}, rng),
+               InvalidArgument);
+  NsDeConfig bad_f;
+  bad_f.differential_weight = 2.5;
+  EXPECT_THROW(run_ns_de(bad_f, 2, landscapes::batch(landscapes::sphere),
+                         {1, 1.0}, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace essns::core

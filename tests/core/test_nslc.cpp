@@ -1,0 +1,126 @@
+#include "core/nslc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ea/landscapes.hpp"
+
+namespace essns::core {
+namespace {
+
+namespace landscapes = ea::landscapes;
+
+ea::Individual make(double fitness, ea::Genome genome) {
+  ea::Individual ind;
+  ind.genome = std::move(genome);
+  ind.fitness = fitness;
+  return ind;
+}
+
+TEST(LocalCompetitionTest, BeatsAllNeighbours) {
+  const auto x = make(0.9, {0.5});
+  std::vector<ea::Individual> refs{make(0.1, {0.4}), make(0.2, {0.6}),
+                                   make(0.3, {0.55})};
+  EXPECT_DOUBLE_EQ(
+      local_competition_score(x, refs, 3, genotypic_distance), 1.0);
+}
+
+TEST(LocalCompetitionTest, LosesToAllNeighbours) {
+  const auto x = make(0.05, {0.5});
+  std::vector<ea::Individual> refs{make(0.5, {0.4}), make(0.6, {0.6})};
+  EXPECT_DOUBLE_EQ(
+      local_competition_score(x, refs, 2, genotypic_distance), 0.0);
+}
+
+TEST(LocalCompetitionTest, OnlyNearestNeighboursCount) {
+  // x at 0.5; near neighbours (0.45, 0.55) are weaker, a far individual
+  // (0.99) is stronger but outside k=2.
+  const auto x = make(0.5, {0.5});
+  std::vector<ea::Individual> refs{make(0.1, {0.45}), make(0.2, {0.55}),
+                                   make(0.9, {0.99})};
+  EXPECT_DOUBLE_EQ(
+      local_competition_score(x, refs, 2, genotypic_distance), 1.0);
+}
+
+TEST(LocalCompetitionTest, SkipsSelfCopy) {
+  const auto x = make(0.5, {0.5});
+  std::vector<ea::Individual> refs{x, make(0.1, {0.4})};
+  EXPECT_DOUBLE_EQ(
+      local_competition_score(x, refs, 2, genotypic_distance), 1.0);
+}
+
+TEST(LocalCompetitionTest, EmptyReferenceIsZero) {
+  const auto x = make(0.5, {0.5});
+  EXPECT_DOUBLE_EQ(local_competition_score(x, {}, 3, genotypic_distance), 0.0);
+}
+
+TEST(NslcTest, RunsAndReturnsSortedBestSet) {
+  Rng rng(1);
+  NslcConfig cfg;
+  cfg.population_size = 16;
+  cfg.offspring_count = 16;
+  const NslcResult r = run_nslc(cfg, 4, landscapes::batch(landscapes::sphere),
+                                {15, 2.0}, rng, genotypic_distance);
+  EXPECT_FALSE(r.best_set.empty());
+  for (std::size_t i = 1; i < r.best_set.size(); ++i)
+    EXPECT_GE(r.best_set[i - 1].fitness, r.best_set[i].fitness);
+  EXPECT_EQ(r.generations, 15);
+  EXPECT_EQ(r.population.size(), 16u);
+}
+
+TEST(NslcTest, LocalCompetitionImprovesQualityOverPureNovelty) {
+  // On the sphere, pure novelty wanders; adding local competition pulls the
+  // search toward quality. Compare best fitness under equal budgets.
+  double nslc_total = 0.0;
+  for (int seed = 0; seed < 5; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) + 40);
+    NslcConfig cfg;
+    cfg.population_size = 20;
+    cfg.offspring_count = 20;
+    nslc_total += run_nslc(cfg, 4, landscapes::batch(landscapes::sphere),
+                           {40, 0.99}, rng, genotypic_distance)
+                      .max_fitness;
+  }
+  EXPECT_GT(nslc_total / 5.0, 0.85);
+}
+
+TEST(NslcTest, EscapesDeceptiveTrap) {
+  int successes = 0;
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 31 + 9);
+    NslcConfig cfg;
+    cfg.population_size = 24;
+    cfg.offspring_count = 24;
+    const auto r = run_nslc(cfg, 3,
+                            landscapes::batch(landscapes::deceptive_trap),
+                            {150, 0.81}, rng, genotypic_distance);
+    if (r.max_fitness >= 0.81) ++successes;
+  }
+  EXPECT_GE(successes, 3);
+}
+
+TEST(NslcTest, DeterministicForSameSeed) {
+  NslcConfig cfg;
+  cfg.population_size = 10;
+  cfg.offspring_count = 10;
+  Rng a(5), b(5);
+  const auto r1 = run_nslc(cfg, 3, landscapes::batch(landscapes::rastrigin),
+                           {8, 2.0}, a, genotypic_distance);
+  const auto r2 = run_nslc(cfg, 3, landscapes::batch(landscapes::rastrigin),
+                           {8, 2.0}, b, genotypic_distance);
+  ASSERT_EQ(r1.best_set.size(), r2.best_set.size());
+  for (std::size_t i = 0; i < r1.best_set.size(); ++i)
+    EXPECT_EQ(r1.best_set[i].genome, r2.best_set[i].genome);
+}
+
+TEST(NslcTest, RejectsBadConfig) {
+  Rng rng(1);
+  NslcConfig tiny;
+  tiny.population_size = 1;
+  EXPECT_THROW(
+      run_nslc(tiny, 2, landscapes::batch(landscapes::sphere), {1, 1.0}, rng),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace essns::core

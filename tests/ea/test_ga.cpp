@@ -1,0 +1,149 @@
+#include "ea/ga.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ea/landscapes.hpp"
+
+namespace essns::ea {
+namespace {
+
+TEST(GaTest, SolvesSphere) {
+  Rng rng(1);
+  GaConfig cfg;
+  cfg.population_size = 30;
+  cfg.offspring_count = 30;
+  const GaResult r = run_ga(cfg, 5, landscapes::batch(landscapes::sphere),
+                            {60, 0.99}, rng);
+  EXPECT_GE(r.best.fitness, 0.95);
+}
+
+TEST(GaTest, FitnessThresholdStopsEarly) {
+  Rng rng(2);
+  GaConfig cfg;
+  const GaResult r =
+      run_ga(cfg, 3, landscapes::batch(landscapes::sphere), {500, 0.5}, rng);
+  EXPECT_LT(r.generations, 500);
+  EXPECT_GE(r.best.fitness, 0.5);
+}
+
+TEST(GaTest, GenerationBudgetRespected) {
+  Rng rng(3);
+  GaConfig cfg;
+  const GaResult r =
+      run_ga(cfg, 3, landscapes::batch(landscapes::sphere), {7, 2.0}, rng);
+  EXPECT_EQ(r.generations, 7);
+}
+
+TEST(GaTest, EvaluationCountMatchesBudget) {
+  Rng rng(4);
+  GaConfig cfg;
+  cfg.population_size = 10;
+  cfg.offspring_count = 20;
+  std::size_t calls = 0;
+  const GaResult r = run_ga(
+      cfg, 3, landscapes::counting_batch(landscapes::sphere, &calls), {5, 2.0},
+      rng);
+  // Initial pop + offspring per generation.
+  EXPECT_EQ(r.evaluations, 10u + 5u * 20u);
+  EXPECT_EQ(calls, r.evaluations);
+}
+
+TEST(GaTest, DeterministicForSameSeed) {
+  GaConfig cfg;
+  Rng a(9), b(9);
+  const GaResult ra =
+      run_ga(cfg, 4, landscapes::batch(landscapes::rastrigin), {20, 2.0}, a);
+  const GaResult rb =
+      run_ga(cfg, 4, landscapes::batch(landscapes::rastrigin), {20, 2.0}, b);
+  EXPECT_EQ(ra.best.genome, rb.best.genome);
+  EXPECT_DOUBLE_EQ(ra.best.fitness, rb.best.fitness);
+}
+
+TEST(GaTest, BestNeverDecreasesAcrossGenerations) {
+  Rng rng(5);
+  GaConfig cfg;
+  std::vector<double> bests;
+  run_ga(cfg, 4, landscapes::batch(landscapes::rastrigin), {25, 2.0}, rng,
+         [&](int, const Population& pop) { bests.push_back(max_fitness(pop)); });
+  // Elitism: generation best is monotonically non-decreasing.
+  for (std::size_t i = 1; i < bests.size(); ++i)
+    EXPECT_GE(bests[i], bests[i - 1] - 1e-12);
+}
+
+TEST(GaTest, FinalPopulationSizeStable) {
+  Rng rng(6);
+  GaConfig cfg;
+  cfg.population_size = 17;
+  cfg.offspring_count = 9;
+  const GaResult r =
+      run_ga(cfg, 3, landscapes::batch(landscapes::sphere), {10, 2.0}, rng);
+  EXPECT_EQ(r.population.size(), 17u);
+  for (const auto& ind : r.population) EXPECT_TRUE(ind.evaluated());
+}
+
+TEST(GaTest, ObserverSeesInitialPopulationAndEveryGeneration) {
+  Rng rng(7);
+  GaConfig cfg;
+  int calls = 0;
+  run_ga(cfg, 3, landscapes::batch(landscapes::sphere), {6, 2.0}, rng,
+         [&](int gen, const Population&) { EXPECT_EQ(gen, calls++); });
+  EXPECT_EQ(calls, 7);  // generations 0..6
+}
+
+TEST(GaTest, SeededInitialPopulationIsUsed) {
+  Rng rng(8);
+  GaConfig cfg;
+  cfg.population_size = 8;
+  cfg.offspring_count = 8;
+  cfg.mutation_rate = 0.0;
+  cfg.crossover_rate = 0.0;
+  // All-identical seeded population: with no variation operators the result
+  // population must still be that genome everywhere.
+  Population seed(8);
+  for (auto& ind : seed) ind.genome = Genome{0.25, 0.75};
+  const GaResult r = run_ga(cfg, 2, landscapes::batch(landscapes::sphere),
+                            {3, 2.0}, rng, nullptr, &seed);
+  for (const auto& ind : r.population)
+    EXPECT_EQ(ind.genome, (Genome{0.25, 0.75}));
+}
+
+TEST(GaTest, RejectsBadConfig) {
+  Rng rng(1);
+  GaConfig tiny;
+  tiny.population_size = 1;
+  EXPECT_THROW(
+      run_ga(tiny, 2, landscapes::batch(landscapes::sphere), {1, 1.0}, rng),
+      InvalidArgument);
+  GaConfig elite;
+  elite.population_size = 4;
+  elite.elite_count = 4;
+  EXPECT_THROW(
+      run_ga(elite, 2, landscapes::batch(landscapes::sphere), {1, 1.0}, rng),
+      InvalidArgument);
+  GaConfig ok;
+  Population wrong_size(3);
+  EXPECT_THROW(run_ga(ok, 2, landscapes::batch(landscapes::sphere), {1, 1.0},
+                      rng, nullptr, &wrong_size),
+               InvalidArgument);
+}
+
+TEST(GaTest, ConvergesGenotypically) {
+  // The premature-convergence property the paper criticizes: after enough
+  // generations a fitness-driven GA population clusters around one point.
+  Rng rng(10);
+  GaConfig cfg;
+  cfg.population_size = 24;
+  cfg.offspring_count = 24;
+  cfg.mutation_sigma = 0.02;
+  const GaResult r =
+      run_ga(cfg, 2, landscapes::batch(landscapes::sphere), {80, 2.0}, rng);
+  double spread = 0.0;
+  for (const auto& ind : r.population)
+    spread += genome_distance(ind.genome, r.best.genome);
+  spread /= static_cast<double>(r.population.size());
+  EXPECT_LT(spread, 0.2);
+}
+
+}  // namespace
+}  // namespace essns::ea

@@ -1,0 +1,122 @@
+#include "ea/individual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace essns::ea {
+namespace {
+
+TEST(IndividualTest, FreshIndividualIsUnevaluated) {
+  Individual ind;
+  EXPECT_FALSE(ind.evaluated());
+  ind.fitness = 0.3;
+  EXPECT_TRUE(ind.evaluated());
+}
+
+TEST(RandomPopulationTest, SizesAndBounds) {
+  Rng rng(1);
+  const Population pop = random_population(20, 9, rng);
+  EXPECT_EQ(pop.size(), 20u);
+  for (const auto& ind : pop) {
+    EXPECT_EQ(ind.genome.size(), 9u);
+    EXPECT_FALSE(ind.evaluated());
+    for (double g : ind.genome) {
+      EXPECT_GE(g, 0.0);
+      EXPECT_LT(g, 1.0);
+    }
+  }
+}
+
+TEST(RandomPopulationTest, RejectsDegenerateSizes) {
+  Rng rng(1);
+  EXPECT_THROW(random_population(0, 3, rng), InvalidArgument);
+  EXPECT_THROW(random_population(3, 0, rng), InvalidArgument);
+}
+
+TEST(RandomPopulationTest, IndividualsDiffer) {
+  Rng rng(2);
+  const Population pop = random_population(10, 5, rng);
+  int identical = 0;
+  for (std::size_t i = 0; i < pop.size(); ++i)
+    for (std::size_t j = i + 1; j < pop.size(); ++j)
+      if (pop[i].genome == pop[j].genome) ++identical;
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(GenomeDistanceTest, ZeroForIdentical) {
+  EXPECT_DOUBLE_EQ(genome_distance({0.1, 0.2}, {0.1, 0.2}), 0.0);
+}
+
+TEST(GenomeDistanceTest, EuclideanNorm) {
+  EXPECT_DOUBLE_EQ(genome_distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+}
+
+TEST(GenomeDistanceTest, Symmetric) {
+  const Genome a{0.1, 0.9, 0.4}, b{0.7, 0.2, 0.8};
+  EXPECT_DOUBLE_EQ(genome_distance(a, b), genome_distance(b, a));
+}
+
+TEST(GenomeDistanceTest, TriangleInequality) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    Genome a(4), b(4), c(4);
+    for (std::size_t d = 0; d < 4; ++d) {
+      a[d] = rng.uniform();
+      b[d] = rng.uniform();
+      c[d] = rng.uniform();
+    }
+    EXPECT_LE(genome_distance(a, c),
+              genome_distance(a, b) + genome_distance(b, c) + 1e-12);
+  }
+}
+
+TEST(GenomeDistanceTest, DimensionMismatchThrows) {
+  EXPECT_THROW(genome_distance({0.1}, {0.1, 0.2}), InvalidArgument);
+}
+
+TEST(MaxFitnessTest, IgnoresUnevaluated) {
+  Population pop(3);
+  pop[0].fitness = 0.4;
+  // pop[1] unevaluated (NaN)
+  pop[2].fitness = 0.9;
+  EXPECT_DOUBLE_EQ(max_fitness(pop), 0.9);
+}
+
+TEST(MaxFitnessTest, EmptyIsMinusInfinity) {
+  EXPECT_EQ(max_fitness({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(ArgmaxFitnessTest, FindsBestIndex) {
+  Population pop(3);
+  pop[0].fitness = 0.4;
+  pop[1].fitness = 0.95;
+  pop[2].fitness = 0.6;
+  EXPECT_EQ(argmax_fitness(pop), 1u);
+}
+
+TEST(ArgmaxFitnessTest, EmptyThrows) {
+  EXPECT_THROW(argmax_fitness({}), InvalidArgument);
+}
+
+TEST(StopConditionTest, GenerationBudget) {
+  const StopCondition stop{10, 0.9};
+  EXPECT_FALSE(stop.done(9, 0.5));
+  EXPECT_TRUE(stop.done(10, 0.5));
+  EXPECT_TRUE(stop.done(11, 0.5));
+}
+
+TEST(StopConditionTest, FitnessThreshold) {
+  const StopCondition stop{100, 0.9};
+  EXPECT_FALSE(stop.done(0, 0.89));
+  EXPECT_TRUE(stop.done(0, 0.9));
+  EXPECT_TRUE(stop.done(0, 1.0));
+}
+
+TEST(StopConditionTest, DefaultThresholdNeverTriggers) {
+  const StopCondition stop{5};
+  EXPECT_FALSE(stop.done(0, 1.0));  // infinity threshold
+}
+
+}  // namespace
+}  // namespace essns::ea

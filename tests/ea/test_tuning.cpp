@@ -1,0 +1,130 @@
+#include "ea/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ea/landscapes.hpp"
+
+namespace essns::ea {
+namespace {
+
+TEST(StagnationMonitorTest, TriggersAfterWindowWithoutImprovement) {
+  StagnationMonitor monitor(3, 1e-6);
+  EXPECT_FALSE(monitor.update(0.5));  // first value establishes the baseline
+  EXPECT_FALSE(monitor.update(0.5));
+  EXPECT_FALSE(monitor.update(0.5));
+  EXPECT_TRUE(monitor.update(0.5));   // 3 stalled generations reached
+}
+
+TEST(StagnationMonitorTest, ImprovementResetsCounter) {
+  StagnationMonitor monitor(2, 1e-6);
+  EXPECT_FALSE(monitor.update(0.1));
+  EXPECT_FALSE(monitor.update(0.1));
+  EXPECT_FALSE(monitor.update(0.2));  // improvement resets
+  EXPECT_FALSE(monitor.update(0.2));
+  EXPECT_TRUE(monitor.update(0.2));
+}
+
+TEST(StagnationMonitorTest, EpsilonIgnoresTinyImprovements) {
+  StagnationMonitor monitor(2, 0.1);
+  EXPECT_FALSE(monitor.update(0.5));
+  EXPECT_FALSE(monitor.update(0.55));  // below epsilon: counts as stalled
+  EXPECT_TRUE(monitor.update(0.58));
+}
+
+TEST(StagnationMonitorTest, ResetClearsState) {
+  StagnationMonitor monitor(1, 0.0);
+  monitor.update(1.0);
+  monitor.reset();
+  EXPECT_EQ(monitor.stalled_generations(), 0);
+  EXPECT_FALSE(monitor.update(0.1));  // baseline again after reset
+}
+
+TEST(StagnationMonitorTest, RejectsBadParams) {
+  EXPECT_THROW(StagnationMonitor(0, 0.1), InvalidArgument);
+  EXPECT_THROW(StagnationMonitor(2, -0.1), InvalidArgument);
+}
+
+Population make_pop(const std::vector<double>& fitness) {
+  Population pop(fitness.size());
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    pop[i].genome = Genome{0.5};
+    pop[i].fitness = fitness[i];
+  }
+  return pop;
+}
+
+TEST(IqrMonitorTest, CollapsedWhenSpreadBelowThreshold) {
+  IqrMonitor monitor(0.05);
+  EXPECT_TRUE(monitor.collapsed(make_pop({0.50, 0.50, 0.51, 0.51})));
+  EXPECT_GT(monitor.last_iqr(), 0.0);
+}
+
+TEST(IqrMonitorTest, HealthySpreadNotCollapsed) {
+  IqrMonitor monitor(0.05);
+  EXPECT_FALSE(monitor.collapsed(make_pop({0.1, 0.3, 0.6, 0.9})));
+}
+
+TEST(IqrMonitorTest, SmallPopulationsNeverCollapse) {
+  IqrMonitor monitor(100.0);
+  EXPECT_FALSE(monitor.collapsed(make_pop({0.1, 0.2, 0.3})));
+}
+
+TEST(RestartTest, KeepsBestAndInvalidatesRest) {
+  Rng rng(1);
+  Population pop = make_pop({0.9, 0.1, 0.5, 0.3});
+  restart_population(pop, 1, rng);
+  // Sorted descending: the kept individual is the 0.9 one.
+  EXPECT_DOUBLE_EQ(pop[0].fitness, 0.9);
+  for (std::size_t i = 1; i < pop.size(); ++i) {
+    EXPECT_TRUE(std::isnan(pop[i].fitness));
+    for (double g : pop[i].genome) {
+      EXPECT_GE(g, 0.0);
+      EXPECT_LT(g, 1.0);
+    }
+  }
+}
+
+TEST(RestartTest, KeepAllIsNoop) {
+  Rng rng(1);
+  Population pop = make_pop({0.2, 0.4});
+  restart_population(pop, 2, rng);
+  EXPECT_DOUBLE_EQ(pop[0].fitness, 0.4);  // sorted, but both kept
+  EXPECT_DOUBLE_EQ(pop[1].fitness, 0.2);
+}
+
+TEST(RestartTest, RejectsKeepBeyondSize) {
+  Rng rng(1);
+  Population pop = make_pop({0.1});
+  EXPECT_THROW(restart_population(pop, 2, rng), InvalidArgument);
+}
+
+TEST(EssimDeTuningTest, RestartsACollapsedDeRun) {
+  // Force a tiny population onto the sphere with zero mutation diversity so
+  // the IQR collapses, then check the hook reports interventions.
+  Rng rng(42);
+  DeConfig cfg;
+  cfg.population_size = 12;
+  cfg.crossover_rate = 0.1;
+  cfg.differential_weight = 0.3;
+  const DeResult r = run_de(
+      cfg, 3, landscapes::batch(landscapes::sphere), {60, 2.0}, rng, nullptr,
+      make_essim_de_tuning(5, 1e-4, 0.05, 2, rng));
+  EXPECT_GT(r.tuning_events, 0);
+  for (const auto& ind : r.population) EXPECT_TRUE(ind.evaluated());
+}
+
+TEST(EssimDeTuningTest, QuietWhenProgressing) {
+  // A healthy improving run with a loose stagnation window and a tiny IQR
+  // threshold should rarely trigger.
+  Rng rng(43);
+  DeConfig cfg;
+  cfg.population_size = 16;
+  const DeResult r = run_de(
+      cfg, 5, landscapes::batch(landscapes::rastrigin), {10, 2.0}, rng,
+      nullptr, make_essim_de_tuning(20, 1e-9, 1e-12, 2, rng));
+  EXPECT_EQ(r.tuning_events, 0);
+}
+
+}  // namespace
+}  // namespace essns::ea

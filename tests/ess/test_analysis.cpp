@@ -1,0 +1,103 @@
+#include "ess/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ess/fitness.hpp"
+#include "firelib/environment.hpp"
+
+namespace essns::ess {
+namespace {
+
+using firelib::IgnitionMap;
+using firelib::kNeverIgnited;
+
+// 5x5 map with a 3x3 burned block in the center.
+IgnitionMap block_map() {
+  IgnitionMap map(5, 5, kNeverIgnited);
+  for (int r = 1; r <= 3; ++r)
+    for (int c = 1; c <= 3; ++c) map(r, c) = 1.0;
+  return map;
+}
+
+TEST(PerimeterTest, BlockPerimeterIsItsRing) {
+  const auto perimeter = fire_perimeter(block_map(), 10.0);
+  // All 8 ring cells of the 3x3 block are exposed; the center is interior.
+  EXPECT_EQ(perimeter.size(), 8u);
+  for (const auto& cell : perimeter)
+    EXPECT_FALSE(cell.row == 2 && cell.col == 2);
+}
+
+TEST(PerimeterTest, SingleCellIsItsOwnPerimeter) {
+  IgnitionMap map(3, 3, kNeverIgnited);
+  map(1, 1) = 0.0;
+  const auto perimeter = fire_perimeter(map, 1.0);
+  ASSERT_EQ(perimeter.size(), 1u);
+  EXPECT_EQ(perimeter[0], (CellIndex{1, 1}));
+}
+
+TEST(PerimeterTest, FullyBurnedMapEdgeCellsExposed) {
+  IgnitionMap map(4, 4, 0.0);
+  const auto perimeter = fire_perimeter(map, 1.0);
+  EXPECT_EQ(perimeter.size(), 12u);  // all except the 2x2 interior
+}
+
+TEST(PerimeterLengthTest, BlockLength) {
+  // 3x3 block: 12 exposed 4-edges x 100 ft.
+  EXPECT_DOUBLE_EQ(perimeter_length_ft(block_map(), 10.0, 100.0), 1200.0);
+}
+
+TEST(PerimeterLengthTest, MapEdgeCountsAsExposed) {
+  IgnitionMap map(2, 2, 0.0);  // everything burned
+  EXPECT_DOUBLE_EQ(perimeter_length_ft(map, 1.0, 50.0), 8 * 50.0);
+}
+
+TEST(BurnedAreaTest, AcreConversion) {
+  // 9 cells x (208.71 ft)^2 ~ 9 acres (one acre is ~208.71 ft square).
+  const double side = std::sqrt(43560.0);
+  EXPECT_NEAR(burned_area_acres(block_map(), 10.0, side), 9.0, 1e-9);
+}
+
+TEST(SorensenTest, PerfectAndDisjoint) {
+  Grid<std::uint8_t> a(2, 2, 0), b(2, 2, 0), pre(2, 2, 0);
+  a(0, 0) = b(0, 0) = 1;
+  EXPECT_DOUBLE_EQ(sorensen(a, a, pre), 1.0);
+  Grid<std::uint8_t> c(2, 2, 0);
+  c(1, 1) = 1;
+  EXPECT_DOUBLE_EQ(sorensen(a, c, pre), 0.0);
+}
+
+TEST(SorensenTest, RelatesToJaccardMonotonically) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Grid<std::uint8_t> a(6, 6, 0), b(6, 6, 0), pre(6, 6, 0);
+    for (auto& v : a) v = rng.bernoulli(0.5);
+    for (auto& v : b) v = rng.bernoulli(0.5);
+    const double j = jaccard(a, b, pre);
+    const double s = sorensen(a, b, pre);
+    EXPECT_NEAR(s, 2.0 * j / (1.0 + j), 1e-12);
+  }
+}
+
+TEST(SorensenTest, ExcludesPreburned) {
+  Grid<std::uint8_t> a(2, 2, 0), b(2, 2, 0), pre(2, 2, 0);
+  a(0, 0) = b(0, 0) = 1;  // agreement only on the preburned cell
+  pre(0, 0) = 1;
+  a(0, 1) = 1;
+  EXPECT_DOUBLE_EQ(sorensen(a, b, pre), 0.0);
+}
+
+TEST(SorensenTest, BothEmptyIsPerfect) {
+  Grid<std::uint8_t> none(2, 2, 0);
+  EXPECT_DOUBLE_EQ(sorensen(none, none, none), 1.0);
+}
+
+TEST(AnalysisTest, RejectsBadArguments) {
+  EXPECT_THROW(perimeter_length_ft(block_map(), 10.0, 0.0), InvalidArgument);
+  EXPECT_THROW(burned_area_acres(block_map(), 10.0, -1.0), InvalidArgument);
+  Grid<std::uint8_t> a(2, 2, 0), b(2, 3, 0);
+  EXPECT_THROW(sorensen(a, b, a), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace essns::ess

@@ -1,0 +1,87 @@
+#include "ess/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ess/fitness.hpp"
+#include "ess/statistical.hpp"
+
+namespace essns::ess {
+namespace {
+
+TEST(KignSearchTest, FindsPerfectThresholdWhenOneExists) {
+  // Probability map where cells burned in reality have p = 0.8 and cells not
+  // burned have p = 0.2: any K in (0.2, 0.8] reproduces reality exactly.
+  Grid<double> prob(2, 2, 0.2);
+  prob(0, 0) = 0.8;
+  prob(0, 1) = 0.8;
+  Grid<std::uint8_t> real(2, 2, 0);
+  real(0, 0) = 1;
+  real(0, 1) = 1;
+  Grid<std::uint8_t> pre(2, 2, 0);
+
+  const KignSearchResult r = search_kign(prob, real, pre, 100);
+  EXPECT_DOUBLE_EQ(r.fitness, 1.0);
+  EXPECT_GT(r.kign, 0.2);
+  EXPECT_LE(r.kign, 0.8);
+  EXPECT_EQ(r.evaluated, 100);
+}
+
+TEST(KignSearchTest, TiesPreferSmallerThreshold) {
+  // Uniform probability: every threshold <= 0.5 gives the same prediction.
+  Grid<double> prob(2, 2, 0.5);
+  Grid<std::uint8_t> real(2, 2, 1);
+  Grid<std::uint8_t> pre(2, 2, 0);
+  const KignSearchResult r = search_kign(prob, real, pre, 100);
+  EXPECT_DOUBLE_EQ(r.fitness, 1.0);
+  EXPECT_NEAR(r.kign, 0.01, 1e-9);  // the first (most inclusive) candidate
+}
+
+TEST(KignSearchTest, ResultFitnessMatchesRecomputation) {
+  Rng rng(3);
+  Grid<double> prob(6, 6, 0.0);
+  for (auto& v : prob) v = rng.uniform();
+  Grid<std::uint8_t> real(6, 6, 0);
+  for (auto& v : real) v = rng.bernoulli(0.4);
+  Grid<std::uint8_t> pre(6, 6, 0);
+
+  const KignSearchResult r = search_kign(prob, real, pre, 50);
+  const auto predicted = apply_kign(prob, r.kign);
+  EXPECT_DOUBLE_EQ(jaccard(real, predicted, pre), r.fitness);
+}
+
+TEST(KignSearchTest, NoThresholdBeatsTheReturnedOne) {
+  Rng rng(4);
+  Grid<double> prob(5, 5, 0.0);
+  for (auto& v : prob) v = rng.uniform();
+  Grid<std::uint8_t> real(5, 5, 0);
+  for (auto& v : real) v = rng.bernoulli(0.5);
+  Grid<std::uint8_t> pre(5, 5, 0);
+
+  const KignSearchResult r = search_kign(prob, real, pre, 40);
+  for (int i = 1; i <= 40; ++i) {
+    const double k = i / 40.0;
+    const double fit = jaccard(real, apply_kign(prob, k), pre);
+    EXPECT_LE(fit, r.fitness + 1e-12);
+  }
+}
+
+TEST(KignSearchTest, RejectsZeroCandidates) {
+  Grid<double> prob(1, 1, 0.5);
+  Grid<std::uint8_t> real(1, 1, 1), pre(1, 1, 0);
+  EXPECT_THROW(search_kign(prob, real, pre, 0), InvalidArgument);
+}
+
+TEST(KignSearchTest, CoarseGridStillReasonable) {
+  Grid<double> prob(2, 2, 0.2);
+  prob(0, 0) = 0.9;
+  Grid<std::uint8_t> real(2, 2, 0);
+  real(0, 0) = 1;
+  Grid<std::uint8_t> pre(2, 2, 0);
+  const KignSearchResult r = search_kign(prob, real, pre, 4);
+  EXPECT_EQ(r.evaluated, 4);
+  EXPECT_DOUBLE_EQ(r.fitness, 1.0);  // K = 0.25, 0.5 or 0.75 all separate
+}
+
+}  // namespace
+}  // namespace essns::ess

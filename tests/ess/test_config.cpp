@@ -1,0 +1,124 @@
+#include "ess/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace essns::ess {
+namespace {
+
+TEST(RunSpecTest, DefaultsWhenEmpty) {
+  const RunSpec spec = parse_run_spec("");
+  EXPECT_EQ(spec.workload, "plains");
+  EXPECT_EQ(spec.method, "ess-ns");
+  EXPECT_EQ(spec.size, 48);
+  EXPECT_EQ(spec.generations, 30);
+  EXPECT_EQ(spec.workers, 1u);
+}
+
+TEST(RunSpecTest, ParsesAllKeys) {
+  const RunSpec spec = parse_run_spec(
+      "workload=hills\n"
+      "size=64\n"
+      "method=essim-de-tuned\n"
+      "seed=99\n"
+      "generations=12\n"
+      "fitness_threshold=0.8\n"
+      "population=16\n"
+      "offspring=20\n"
+      "workers=4\n"
+      "novelty_k=5\n"
+      "islands=2\n");
+  EXPECT_EQ(spec.workload, "hills");
+  EXPECT_EQ(spec.size, 64);
+  EXPECT_EQ(spec.method, "essim-de-tuned");
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_EQ(spec.generations, 12);
+  EXPECT_DOUBLE_EQ(spec.fitness_threshold, 0.8);
+  EXPECT_EQ(spec.population, 16u);
+  EXPECT_EQ(spec.offspring, 20u);
+  EXPECT_EQ(spec.workers, 4u);
+  EXPECT_EQ(spec.novelty_k, 5);
+  EXPECT_EQ(spec.islands, 2);
+}
+
+TEST(RunSpecTest, IgnoresCommentsAndBlankLines) {
+  const RunSpec spec = parse_run_spec(
+      "# a comment\n"
+      "\n"
+      "  method = ess-ga  \n"
+      "# another\n");
+  EXPECT_EQ(spec.method, "ess-ga");
+}
+
+TEST(RunSpecTest, RejectsMalformedLines) {
+  EXPECT_THROW(parse_run_spec("not a pair"), InvalidArgument);
+  EXPECT_THROW(parse_run_spec("size="), InvalidArgument);
+  EXPECT_THROW(parse_run_spec("size=abc"), InvalidArgument);
+  EXPECT_THROW(parse_run_spec("unknown_key=3"), InvalidArgument);
+  EXPECT_THROW(parse_run_spec("method=nope"), InvalidArgument);
+  EXPECT_THROW(parse_run_spec("workload=mars"), InvalidArgument);
+  EXPECT_THROW(parse_run_spec("size=4"), InvalidArgument);  // below minimum
+}
+
+TEST(RunSpecTest, KnownMethodsListMatchesFactory) {
+  for (const auto& method : RunSpec::known_methods()) {
+    RunSpec spec;
+    spec.method = method;
+    if (method == "essim-monitor") {
+      EXPECT_THROW(make_optimizer(spec), InvalidArgument);
+    } else {
+      EXPECT_NE(make_optimizer(spec), nullptr) << method;
+    }
+  }
+}
+
+TEST(RunSpecTest, WorkloadFactoryHonoursSize) {
+  RunSpec spec;
+  spec.workload = "hills";
+  spec.size = 24;
+  const auto workload = make_workload(spec);
+  EXPECT_EQ(workload.name, "hills");
+  EXPECT_EQ(workload.environment.rows(), 24);
+}
+
+TEST(RunSpecEndToEndTest, RunsEveryMethodTiny) {
+  for (const auto& method : RunSpec::known_methods()) {
+    SCOPED_TRACE(method);
+    RunSpec spec;
+    spec.method = method;
+    spec.size = 24;
+    spec.generations = 3;
+    spec.population = 8;
+    spec.offspring = 8;
+    spec.islands = 2;
+    const PipelineResult result = run_spec(spec);
+    EXPECT_FALSE(result.steps.empty());
+    for (const auto& step : result.steps) {
+      EXPECT_GE(step.prediction_quality, 0.0);
+      EXPECT_LE(step.prediction_quality, 1.0);
+    }
+  }
+}
+
+TEST(RunSpecEndToEndTest, SeedChangesResults) {
+  RunSpec a;
+  a.size = 24;
+  a.generations = 3;
+  a.population = 8;
+  a.offspring = 8;
+  RunSpec b = a;
+  b.seed = a.seed + 1;
+  const auto ra = run_spec(a);
+  const auto rb = run_spec(b);
+  // Different hidden fire AND different search: qualities should differ
+  // in at least one step (overwhelmingly likely).
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ra.steps.size() && i < rb.steps.size(); ++i)
+    if (ra.steps[i].prediction_quality != rb.steps[i].prediction_quality)
+      any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace essns::ess

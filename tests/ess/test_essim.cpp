@@ -1,0 +1,141 @@
+#include "ess/essim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ea/landscapes.hpp"
+
+namespace essns::ess {
+namespace {
+
+namespace landscapes = ea::landscapes;
+
+TEST(IslandOptimizerTest, NamesReflectInnerAlgorithm) {
+  IslandOptimizer::Options ga_opt;
+  ga_opt.inner = IslandOptimizer::Inner::kGa;
+  EXPECT_EQ(IslandOptimizer(ga_opt).name(), "ESSIM-EA");
+  IslandOptimizer::Options de_opt;
+  de_opt.inner = IslandOptimizer::Inner::kDe;
+  EXPECT_EQ(IslandOptimizer(de_opt).name(), "ESSIM-DE(islands)");
+}
+
+TEST(IslandOptimizerTest, SolvesSphereWithGaIslands) {
+  IslandOptimizer::Options opt;
+  opt.islands = 3;
+  opt.migration_interval = 4;
+  opt.ga.population_size = 12;
+  opt.ga.offspring_count = 12;
+  IslandOptimizer optimizer(opt);
+  Rng rng(1);
+  const auto out = optimizer.optimize(
+      4, landscapes::batch(landscapes::sphere), {40, 0.98}, rng);
+  EXPECT_GE(out.best.fitness, 0.9);
+  EXPECT_EQ(out.solutions.size(), 12u);  // best island's population
+}
+
+TEST(IslandOptimizerTest, SolvesSphereWithDeIslands) {
+  IslandOptimizer::Options opt;
+  opt.inner = IslandOptimizer::Inner::kDe;
+  opt.islands = 2;
+  opt.migration_interval = 5;
+  opt.de.population_size = 10;
+  IslandOptimizer optimizer(opt);
+  Rng rng(2);
+  const auto out = optimizer.optimize(
+      4, landscapes::batch(landscapes::sphere), {40, 0.98}, rng);
+  EXPECT_GE(out.best.fitness, 0.9);
+}
+
+TEST(IslandOptimizerTest, GenerationBudgetIsTotal) {
+  IslandOptimizer::Options opt;
+  opt.islands = 2;
+  opt.migration_interval = 3;
+  opt.ga.population_size = 6;
+  opt.ga.offspring_count = 6;
+  IslandOptimizer optimizer(opt);
+  Rng rng(3);
+  const auto out = optimizer.optimize(
+      3, landscapes::batch(landscapes::sphere), {10, 2.0}, rng);
+  EXPECT_EQ(out.generations, 10);  // 3+3+3+1 rounds
+}
+
+TEST(IslandOptimizerTest, SingleIslandNoMigrationWorks) {
+  IslandOptimizer::Options opt;
+  opt.islands = 1;
+  opt.migrants = 0;
+  opt.ga.population_size = 8;
+  opt.ga.offspring_count = 8;
+  IslandOptimizer optimizer(opt);
+  Rng rng(4);
+  const auto out = optimizer.optimize(
+      3, landscapes::batch(landscapes::sphere), {6, 2.0}, rng);
+  EXPECT_FALSE(out.solutions.empty());
+}
+
+TEST(IslandOptimizerTest, DeterministicForSameSeed) {
+  IslandOptimizer::Options opt;
+  opt.islands = 2;
+  opt.ga.population_size = 6;
+  opt.ga.offspring_count = 6;
+  IslandOptimizer o1(opt), o2(opt);
+  Rng a(7), b(7);
+  const auto r1 = o1.optimize(3, landscapes::batch(landscapes::rastrigin),
+                              {8, 2.0}, a);
+  const auto r2 = o2.optimize(3, landscapes::batch(landscapes::rastrigin),
+                              {8, 2.0}, b);
+  EXPECT_EQ(r1.best.genome, r2.best.genome);
+}
+
+TEST(IslandOptimizerTest, MigrationSpreadsGoodGenes) {
+  // With migration, the best island's result should be at least as good as
+  // a single isolated island of the same budget (statistically; fixed seed).
+  IslandOptimizer::Options with;
+  with.islands = 4;
+  with.migrants = 2;
+  with.migration_interval = 3;
+  with.ga.population_size = 8;
+  with.ga.offspring_count = 8;
+
+  IslandOptimizer::Options without = with;
+  without.migrants = 0;
+
+  Rng a(11), b(11);
+  const auto r_with = IslandOptimizer(with).optimize(
+      5, landscapes::batch(landscapes::rastrigin), {15, 2.0}, a);
+  const auto r_without = IslandOptimizer(without).optimize(
+      5, landscapes::batch(landscapes::rastrigin), {15, 2.0}, b);
+  EXPECT_GE(r_with.best.fitness, r_without.best.fitness - 0.05);
+}
+
+TEST(IslandOptimizerTest, TunedDeIslandsRun) {
+  IslandOptimizer::Options opt;
+  opt.inner = IslandOptimizer::Inner::kDe;
+  opt.de_tuning = true;
+  opt.islands = 2;
+  opt.de.population_size = 8;
+  IslandOptimizer optimizer(opt);
+  Rng rng(5);
+  const auto out = optimizer.optimize(
+      3, landscapes::batch(landscapes::sphere), {12, 2.0}, rng);
+  EXPECT_TRUE(out.best.evaluated());
+}
+
+TEST(IslandOptimizerTest, RejectsBadOptions) {
+  IslandOptimizer::Options zero_islands;
+  zero_islands.islands = 0;
+  EXPECT_THROW(IslandOptimizer{zero_islands}, InvalidArgument);
+  IslandOptimizer::Options bad_interval;
+  bad_interval.migration_interval = 0;
+  EXPECT_THROW(IslandOptimizer{bad_interval}, InvalidArgument);
+  IslandOptimizer::Options too_many_migrants;
+  too_many_migrants.migrants = 99;
+  too_many_migrants.ga.population_size = 8;
+  IslandOptimizer opt(too_many_migrants);
+  Rng rng(1);
+  EXPECT_THROW(opt.optimize(3, ea::landscapes::batch(ea::landscapes::sphere),
+                            {2, 2.0}, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace essns::ess

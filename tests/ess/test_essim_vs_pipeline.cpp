@@ -1,0 +1,98 @@
+// Cross-system consistency: the two ESSIM layouts (IslandOptimizer inside
+// the shared pipeline vs the full EssimSystem hierarchy) and the flat
+// pipeline must agree on the problem they are solving — same step indexing,
+// comparable quality on an easy case, and identical evaluation semantics.
+#include <gtest/gtest.h>
+
+#include "ess/monitor.hpp"
+#include "ess/pipeline.hpp"
+#include "synth/workloads.hpp"
+
+namespace essns::ess {
+namespace {
+
+class CrossSystemTest : public ::testing::Test {
+ protected:
+  CrossSystemTest() : workload_(synth::make_plains(32)) {
+    Rng rng(19);
+    truth_ = synth::generate_ground_truth(workload_.environment,
+                                          workload_.truth_config, rng);
+  }
+
+  synth::Workload workload_;
+  synth::GroundTruth truth_;
+};
+
+TEST_F(CrossSystemTest, StepIndexingMatches) {
+  PipelineConfig pipe_cfg;
+  pipe_cfg.stop = {4, 0.95};
+  PredictionPipeline pipeline(workload_.environment, truth_, pipe_cfg);
+  ea::GaConfig ga;
+  ga.population_size = 8;
+  ga.offspring_count = 8;
+  GaOptimizer optimizer(ga);
+  Rng a(3);
+  const auto flat = pipeline.run(optimizer, a);
+
+  EssimConfig essim_cfg;
+  essim_cfg.islands = 2;
+  essim_cfg.ga.population_size = 8;
+  essim_cfg.ga.offspring_count = 8;
+  essim_cfg.ga.elite_count = 1;
+  essim_cfg.stop = {4, 0.95};
+  EssimSystem system(workload_.environment, truth_, essim_cfg);
+  Rng b(3);
+  const auto hierarchical = system.run(b);
+
+  ASSERT_EQ(flat.steps.size(), hierarchical.steps.size());
+  for (std::size_t i = 0; i < flat.steps.size(); ++i)
+    EXPECT_EQ(flat.steps[i].step, hierarchical.steps[i].step);
+}
+
+TEST_F(CrossSystemTest, BothSystemsReachUsefulQualityOnPlains) {
+  PipelineConfig pipe_cfg;
+  pipe_cfg.stop = {10, 0.95};
+  PredictionPipeline pipeline(workload_.environment, truth_, pipe_cfg);
+  core::NsGaConfig ns;
+  ns.population_size = 12;
+  ns.offspring_count = 12;
+  NsGaOptimizer optimizer(ns);
+  Rng a(5);
+  const auto flat = pipeline.run(optimizer, a);
+
+  EssimConfig essim_cfg;
+  essim_cfg.islands = 2;
+  essim_cfg.ga.population_size = 6;
+  essim_cfg.ga.offspring_count = 6;
+  essim_cfg.ga.elite_count = 1;
+  essim_cfg.stop = {10, 0.95};
+  EssimSystem system(workload_.environment, truth_, essim_cfg);
+  Rng b(5);
+  const auto hierarchical = system.run(b);
+
+  EXPECT_GT(flat.mean_quality(), 0.3);
+  EXPECT_GT(hierarchical.mean_quality(), 0.3);
+}
+
+TEST_F(CrossSystemTest, MonitorNeverPicksWorseThanWorstIsland) {
+  EssimConfig cfg;
+  cfg.islands = 3;
+  cfg.ga.population_size = 6;
+  cfg.ga.offspring_count = 6;
+  cfg.ga.elite_count = 1;
+  cfg.stop = {4, 0.95};
+  EssimSystem system(workload_.environment, truth_, cfg);
+  Rng rng(7);
+  const auto result = system.run(rng);
+  for (const auto& step : result.steps) {
+    double worst = 1.0;
+    for (const auto& island : step.islands)
+      worst = std::min(worst, island.fitness);
+    const auto& chosen =
+        step.islands[static_cast<std::size_t>(step.selected_island)];
+    EXPECT_GE(chosen.fitness, worst);
+  }
+}
+
+}  // namespace
+}  // namespace essns::ess

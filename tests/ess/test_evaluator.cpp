@@ -1,0 +1,136 @@
+#include "ess/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "synth/ground_truth.hpp"
+#include "synth/workloads.hpp"
+
+namespace essns::ess {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() : workload_(synth::make_plains(32)) {
+    Rng rng(5);
+    truth_ = synth::generate_ground_truth(workload_.environment,
+                                          workload_.truth_config, rng);
+  }
+
+  StepContext step1() const {
+    return {&truth_.fire_lines[0], &truth_.fire_lines[1], 0.0,
+            truth_.step_minutes};
+  }
+
+  synth::Workload workload_;
+  synth::GroundTruth truth_;
+};
+
+TEST_F(EvaluatorTest, HiddenScenarioScoresHigh) {
+  ScenarioEvaluator evaluator(workload_.environment);
+  evaluator.set_step(step1());
+  const double fit = evaluator.evaluate_scenario(truth_.scenario_at[1]);
+  // Observation noise keeps it below 1, but the generating scenario must
+  // score far above a wrong one.
+  EXPECT_GT(fit, 0.6);
+}
+
+TEST_F(EvaluatorTest, WrongScenarioScoresLower) {
+  ScenarioEvaluator evaluator(workload_.environment);
+  evaluator.set_step(step1());
+  firelib::Scenario wrong = truth_.scenario_at[1];
+  wrong.m1 = 59.0;  // soaked fuel: fire barely moves
+  wrong.m10 = 59.0;
+  wrong.m100 = 59.0;
+  const double truth_fit = evaluator.evaluate_scenario(truth_.scenario_at[1]);
+  const double wrong_fit = evaluator.evaluate_scenario(wrong);
+  EXPECT_GT(truth_fit, wrong_fit);
+}
+
+TEST_F(EvaluatorTest, BatchMatchesScalarEvaluation) {
+  ScenarioEvaluator evaluator(workload_.environment);
+  evaluator.set_step(step1());
+  const auto& space = firelib::ScenarioSpace::table1();
+  Rng rng(9);
+  std::vector<ea::Genome> genomes;
+  for (int i = 0; i < 8; ++i) genomes.push_back(space.encode(space.sample(rng)));
+
+  const auto batch = evaluator.batch_evaluator()(genomes);
+  ASSERT_EQ(batch.size(), genomes.size());
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    const double scalar =
+        evaluator.evaluate_scenario(space.decode(genomes[i]));
+    EXPECT_DOUBLE_EQ(batch[i], scalar);
+  }
+}
+
+TEST_F(EvaluatorTest, ParallelMatchesSerial) {
+  // The paper's Master/Worker parallelization must not change results.
+  ScenarioEvaluator serial(workload_.environment, 1);
+  ScenarioEvaluator parallel(workload_.environment, 4);
+  serial.set_step(step1());
+  parallel.set_step(step1());
+  EXPECT_EQ(parallel.workers(), 4u);
+
+  const auto& space = firelib::ScenarioSpace::table1();
+  Rng rng(11);
+  std::vector<ea::Genome> genomes;
+  for (int i = 0; i < 16; ++i)
+    genomes.push_back(space.encode(space.sample(rng)));
+
+  const auto serial_out = serial.batch_evaluator()(genomes);
+  const auto parallel_out = parallel.batch_evaluator()(genomes);
+  ASSERT_EQ(serial_out.size(), parallel_out.size());
+  for (std::size_t i = 0; i < serial_out.size(); ++i)
+    EXPECT_DOUBLE_EQ(serial_out[i], parallel_out[i]);
+}
+
+TEST_F(EvaluatorTest, FitnessInUnitInterval) {
+  ScenarioEvaluator evaluator(workload_.environment);
+  evaluator.set_step(step1());
+  const auto& space = firelib::ScenarioSpace::table1();
+  Rng rng(13);
+  for (int i = 0; i < 30; ++i) {
+    const double fit = evaluator.evaluate_scenario(space.sample(rng));
+    EXPECT_GE(fit, 0.0);
+    EXPECT_LE(fit, 1.0);
+  }
+}
+
+TEST_F(EvaluatorTest, SimulationCounterAdvances) {
+  ScenarioEvaluator evaluator(workload_.environment);
+  evaluator.set_step(step1());
+  EXPECT_EQ(evaluator.simulations_run(), 0u);
+  evaluator.evaluate_scenario(truth_.scenario_at[1]);
+  EXPECT_EQ(evaluator.simulations_run(), 1u);
+  evaluator.batch_evaluator()(
+      {firelib::ScenarioSpace::table1().encode(truth_.scenario_at[1])});
+  EXPECT_EQ(evaluator.simulations_run(), 2u);
+}
+
+TEST_F(EvaluatorTest, EvaluateBeforeSetStepThrows) {
+  ScenarioEvaluator evaluator(workload_.environment);
+  EXPECT_THROW(evaluator.evaluate_scenario(truth_.scenario_at[1]),
+               InvalidArgument);
+}
+
+TEST_F(EvaluatorTest, SetStepValidatesInterval) {
+  ScenarioEvaluator evaluator(workload_.environment);
+  StepContext bad = step1();
+  bad.end_time = bad.start_time;
+  EXPECT_THROW(evaluator.set_step(bad), InvalidArgument);
+  StepContext null_maps;
+  EXPECT_THROW(evaluator.set_step(null_maps), InvalidArgument);
+}
+
+TEST_F(EvaluatorTest, SimulateContinuesFromGivenState) {
+  ScenarioEvaluator evaluator(workload_.environment);
+  evaluator.set_step(step1());
+  const auto map = evaluator.simulate(truth_.scenario_at[1],
+                                      truth_.fire_lines[0],
+                                      truth_.step_minutes);
+  EXPECT_GT(firelib::burned_count(map, truth_.step_minutes), 1u);
+}
+
+}  // namespace
+}  // namespace essns::ess

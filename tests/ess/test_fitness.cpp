@@ -1,0 +1,114 @@
+#include "ess/fitness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace essns::ess {
+namespace {
+
+Grid<std::uint8_t> mask(std::initializer_list<std::initializer_list<int>> rows) {
+  const int r = static_cast<int>(rows.size());
+  const int c = static_cast<int>(rows.begin()->size());
+  Grid<std::uint8_t> m(r, c, 0);
+  int i = 0;
+  for (const auto& row : rows) {
+    int j = 0;
+    for (int v : row) m(i, j++) = static_cast<std::uint8_t>(v);
+    ++i;
+  }
+  return m;
+}
+
+TEST(JaccardTest, PerfectMatchIsOne) {
+  const auto a = mask({{1, 1}, {0, 0}});
+  const auto none = mask({{0, 0}, {0, 0}});
+  EXPECT_DOUBLE_EQ(jaccard(a, a, none), 1.0);
+}
+
+TEST(JaccardTest, DisjointIsZero) {
+  const auto a = mask({{1, 0}, {0, 0}});
+  const auto b = mask({{0, 0}, {0, 1}});
+  const auto none = mask({{0, 0}, {0, 0}});
+  EXPECT_DOUBLE_EQ(jaccard(a, b, none), 0.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // |A ∩ B| = 1, |A ∪ B| = 3.
+  const auto a = mask({{1, 1}, {0, 0}});
+  const auto b = mask({{1, 0}, {1, 0}});
+  const auto none = mask({{0, 0}, {0, 0}});
+  EXPECT_NEAR(jaccard(a, b, none), 1.0 / 3.0, 1e-12);
+}
+
+TEST(JaccardTest, PreburnedCellsExcluded) {
+  // Both maps agree on the preburned cell; including it would give 1/3, but
+  // Eq. (3) excludes it, leaving no agreement at all — exactly the
+  // optimistic skew the paper's formulation removes.
+  const auto a = mask({{1, 1}, {0, 0}});
+  const auto b = mask({{1, 0}, {1, 0}});
+  const auto pre = mask({{1, 0}, {0, 0}});
+  EXPECT_NEAR(jaccard(a, b, pre), 0.0 / 2.0, 1e-12);
+}
+
+TEST(JaccardTest, EverythingPreburnedIsVacuouslyPerfect) {
+  const auto a = mask({{1, 1}, {1, 1}});
+  const auto pre = mask({{1, 1}, {1, 1}});
+  const auto b = mask({{0, 0}, {0, 0}});
+  EXPECT_DOUBLE_EQ(jaccard(a, b, pre), 1.0);
+}
+
+TEST(JaccardTest, BothEmptyIsPerfect) {
+  const auto none = mask({{0, 0}, {0, 0}});
+  EXPECT_DOUBLE_EQ(jaccard(none, none, none), 1.0);
+}
+
+TEST(JaccardTest, SymmetricInArguments) {
+  const auto a = mask({{1, 1, 0}, {0, 1, 0}});
+  const auto b = mask({{1, 0, 1}, {0, 1, 1}});
+  const auto none = mask({{0, 0, 0}, {0, 0, 0}});
+  EXPECT_DOUBLE_EQ(jaccard(a, b, none), jaccard(b, a, none));
+}
+
+TEST(JaccardTest, BoundedZeroOne) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    Grid<std::uint8_t> a(4, 4, 0), b(4, 4, 0), pre(4, 4, 0);
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        a(r, c) = rng.bernoulli(0.5);
+        b(r, c) = rng.bernoulli(0.5);
+        pre(r, c) = rng.bernoulli(0.2);
+      }
+    }
+    const double f = jaccard(a, b, pre);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(JaccardTest, DimensionMismatchThrows) {
+  Grid<std::uint8_t> a(2, 2, 0), b(2, 3, 0), pre(2, 2, 0);
+  EXPECT_THROW(jaccard(a, b, pre), InvalidArgument);
+}
+
+TEST(JaccardAtTest, ComparesIgnitionMapsAtTime) {
+  firelib::IgnitionMap real(2, 2, firelib::kNeverIgnited);
+  firelib::IgnitionMap sim(2, 2, firelib::kNeverIgnited);
+  real(0, 0) = 0.0;   // preburned at t=0
+  real(0, 1) = 30.0;  // burned within the step
+  sim(0, 0) = 0.0;
+  sim(0, 1) = 25.0;   // simulated also burns it
+  sim(1, 0) = 40.0;   // extra simulated cell
+  // At t=60, excluding t<=0 preburned: A={0,1}, B={0,1 and 1,0}.
+  EXPECT_NEAR(jaccard_at(real, sim, 60.0, 0.0), 0.5, 1e-12);
+}
+
+TEST(JaccardAtTest, RejectsInvertedTimes) {
+  firelib::IgnitionMap real(2, 2, firelib::kNeverIgnited);
+  firelib::IgnitionMap sim(2, 2, firelib::kNeverIgnited);
+  EXPECT_THROW(jaccard_at(real, sim, 10.0, 20.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace essns::ess

@@ -1,0 +1,122 @@
+#include "ess/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ea/landscapes.hpp"
+
+namespace essns::ess {
+namespace {
+
+namespace landscapes = ea::landscapes;
+
+TEST(GaOptimizerTest, SolutionSetIsFinalPopulation) {
+  ea::GaConfig cfg;
+  cfg.population_size = 12;
+  cfg.offspring_count = 12;
+  GaOptimizer optimizer(cfg);
+  Rng rng(1);
+  const auto out = optimizer.optimize(
+      4, landscapes::batch(landscapes::sphere), {10, 2.0}, rng);
+  EXPECT_EQ(out.solutions.size(), 12u);  // ESS returns the evolved population
+  EXPECT_EQ(optimizer.name(), "ESS-GA");
+  EXPECT_TRUE(out.best.evaluated());
+  EXPECT_GT(out.evaluations, 0u);
+}
+
+TEST(DeOptimizerTest, NamesReflectTuning) {
+  DeOptimizer plain;
+  EXPECT_EQ(plain.name(), "ESSIM-DE");
+  DeOptimizer::Options opt;
+  opt.with_tuning = true;
+  DeOptimizer tuned(opt);
+  EXPECT_EQ(tuned.name(), "ESSIM-DE+tuning");
+}
+
+TEST(DeOptimizerTest, SolutionSetKeepsPopulationSize) {
+  DeOptimizer::Options opt;
+  opt.de.population_size = 16;
+  opt.diversity_fraction = 0.25;
+  DeOptimizer optimizer(opt);
+  Rng rng(2);
+  const auto out = optimizer.optimize(
+      4, landscapes::batch(landscapes::sphere), {8, 2.0}, rng);
+  EXPECT_EQ(out.solutions.size(), 16u);
+}
+
+TEST(DeOptimizerTest, DiversityShareComesFromWholePopulation) {
+  // With diversity_fraction = 0.5, the second half of the returned set is
+  // drawn from the non-elite tail; its fitness spread must reach below the
+  // elite cutoff (checked statistically via a multimodal landscape).
+  DeOptimizer::Options opt;
+  opt.de.population_size = 20;
+  opt.diversity_fraction = 0.5;
+  DeOptimizer optimizer(opt);
+  Rng rng(3);
+  const auto out = optimizer.optimize(
+      6, landscapes::batch(landscapes::rastrigin), {3, 2.0}, rng);
+  ASSERT_EQ(out.solutions.size(), 20u);
+  // First 10 are the sorted elite: descending fitness.
+  for (int i = 1; i < 10; ++i)
+    EXPECT_GE(out.solutions[static_cast<size_t>(i - 1)].fitness,
+              out.solutions[static_cast<size_t>(i)].fitness);
+}
+
+TEST(DeOptimizerTest, SolutionsAreUniqueDraws) {
+  DeOptimizer::Options opt;
+  opt.de.population_size = 12;
+  opt.diversity_fraction = 0.4;
+  DeOptimizer optimizer(opt);
+  Rng rng(4);
+  const auto out = optimizer.optimize(
+      4, landscapes::batch(landscapes::rastrigin), {5, 2.0}, rng);
+  // No slot should be the same individual object twice (genome+fitness pair
+  // repeated more often than it appears in the population).
+  std::multiset<double> fits;
+  for (const auto& s : out.solutions) fits.insert(s.fitness);
+  EXPECT_EQ(fits.size(), 12u);
+}
+
+TEST(NsGaOptimizerTest, SolutionSetIsBestSet) {
+  core::NsGaConfig cfg;
+  cfg.population_size = 10;
+  cfg.offspring_count = 10;
+  cfg.best_set_capacity = 6;
+  NsGaOptimizer optimizer(cfg);
+  Rng rng(5);
+  const auto out = optimizer.optimize(
+      4, landscapes::batch(landscapes::sphere), {12, 2.0}, rng);
+  EXPECT_EQ(optimizer.name(), "ESS-NS");
+  EXPECT_LE(out.solutions.size(), 6u);
+  EXPECT_FALSE(out.solutions.empty());
+  // bestSet comes back sorted by fitness; best == front.
+  EXPECT_DOUBLE_EQ(out.best.fitness, out.solutions.front().fitness);
+}
+
+TEST(OptimizerTest, AllReportGenerationsAndEvaluations) {
+  std::vector<std::unique_ptr<Optimizer>> optimizers;
+  ea::GaConfig ga;
+  ga.population_size = 8;
+  ga.offspring_count = 8;
+  optimizers.push_back(std::make_unique<GaOptimizer>(ga));
+  DeOptimizer::Options de;
+  de.de.population_size = 8;
+  optimizers.push_back(std::make_unique<DeOptimizer>(de));
+  core::NsGaConfig ns;
+  ns.population_size = 8;
+  ns.offspring_count = 8;
+  optimizers.push_back(std::make_unique<NsGaOptimizer>(ns));
+
+  Rng rng(6);
+  for (auto& optimizer : optimizers) {
+    SCOPED_TRACE(optimizer->name());
+    const auto out = optimizer->optimize(
+        3, landscapes::batch(landscapes::sphere), {5, 2.0}, rng);
+    EXPECT_EQ(out.generations, 5);
+    EXPECT_GE(out.evaluations, 8u * 5u);
+  }
+}
+
+}  // namespace
+}  // namespace essns::ess

@@ -1,0 +1,103 @@
+// Cross-workload pipeline sweep: every standard burn case x every optimizer
+// family must satisfy the pipeline invariants (parameterized).
+#include <gtest/gtest.h>
+
+#include "ess/essim.hpp"
+#include "ess/pipeline.hpp"
+#include "synth/workloads.hpp"
+
+namespace essns::ess {
+namespace {
+
+struct Case {
+  std::string workload;
+  std::string method;
+};
+
+void PrintTo(const Case& c, std::ostream* os) {
+  *os << c.workload << "/" << c.method;
+}
+
+class PipelineSweep : public ::testing::TestWithParam<Case> {
+ protected:
+  static synth::Workload load(const std::string& name) {
+    if (name == "hills") return synth::make_hills(28);
+    if (name == "wind_shift") return synth::make_wind_shift(28);
+    return synth::make_plains(28);
+  }
+
+  static std::unique_ptr<Optimizer> optimizer(const std::string& method) {
+    if (method == "ga") {
+      ea::GaConfig cfg;
+      cfg.population_size = 8;
+      cfg.offspring_count = 8;
+      return std::make_unique<GaOptimizer>(cfg);
+    }
+    if (method == "de") {
+      DeOptimizer::Options cfg;
+      cfg.de.population_size = 8;
+      return std::make_unique<DeOptimizer>(cfg);
+    }
+    if (method == "island") {
+      IslandOptimizer::Options cfg;
+      cfg.islands = 2;
+      cfg.migration_interval = 2;
+      cfg.ga.population_size = 6;
+      cfg.ga.offspring_count = 6;
+      cfg.ga.elite_count = 1;
+      return std::make_unique<IslandOptimizer>(cfg);
+    }
+    core::NsGaConfig cfg;
+    cfg.population_size = 8;
+    cfg.offspring_count = 8;
+    return std::make_unique<NsGaOptimizer>(cfg);
+  }
+};
+
+TEST_P(PipelineSweep, InvariantsHold) {
+  const Case& test_case = GetParam();
+  synth::Workload workload = load(test_case.workload);
+  Rng truth_rng(13);
+  const synth::GroundTruth truth = synth::generate_ground_truth(
+      workload.environment, workload.truth_config, truth_rng);
+
+  PipelineConfig config;
+  config.stop = {4, 0.95};
+  PredictionPipeline pipeline(workload.environment, truth, config);
+  auto opt = optimizer(test_case.method);
+  Rng rng(17);
+  const PipelineResult result = pipeline.run(*opt, rng);
+
+  ASSERT_EQ(result.steps.size(),
+            static_cast<std::size_t>(truth.steps()) - 1);
+  int expected_step = 2;
+  for (const auto& step : result.steps) {
+    EXPECT_EQ(step.step, expected_step++);
+    EXPECT_GE(step.prediction_quality, 0.0);
+    EXPECT_LE(step.prediction_quality, 1.0);
+    EXPECT_GT(step.kign, 0.0);
+    EXPECT_LE(step.kign, 1.0);
+    EXPECT_GE(step.calibration_fitness, 0.0);
+    EXPECT_LE(step.calibration_fitness, 1.0);
+    EXPECT_GE(step.best_os_fitness, 0.0);
+    EXPECT_LE(step.best_os_fitness, 1.0);
+    EXPECT_GT(step.os_evaluations, 0u);
+    EXPECT_GT(step.solution_count, 0u);
+    EXPECT_LE(step.solution_count, config.max_solution_maps);
+    EXPECT_GE(step.elapsed_seconds, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, PipelineSweep,
+    ::testing::Values(Case{"plains", "ga"}, Case{"plains", "de"},
+                      Case{"plains", "ns"}, Case{"plains", "island"},
+                      Case{"hills", "ga"}, Case{"hills", "ns"},
+                      Case{"wind_shift", "de"}, Case{"wind_shift", "ns"},
+                      Case{"wind_shift", "island"}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.workload + "_" + info.param.method;
+    });
+
+}  // namespace
+}  // namespace essns::ess

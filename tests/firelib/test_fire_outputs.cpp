@@ -1,0 +1,85 @@
+// Byram intensity / flame length / scorch height — the fireLib auxiliary
+// outputs derived from the spread computation.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "firelib/rothermel.hpp"
+
+namespace essns::firelib {
+namespace {
+
+MoistureSet dry() { return {0.06, 0.08, 0.10, 0.60, 0.90}; }
+
+FireBehavior windy_grass() {
+  const FireSpreadModel model;
+  WindSlope ws{units::mph_to_ft_per_min(10.0), 0.0, 0.0, 0.0};
+  return model.behavior(1, dry(), ws);
+}
+
+TEST(FireOutputsTest, ByramIntensityIsHeatTimesRate) {
+  const FireBehavior b = windy_grass();
+  const double expected = b.heat_per_unit_area * b.spread_rate_max / 60.0;
+  EXPECT_NEAR(b.byram_intensity_at(b.azimuth_max), expected, 1e-9);
+}
+
+TEST(FireOutputsTest, IntensityHighestAlongHeadFire) {
+  const FireBehavior b = windy_grass();
+  const double head = b.byram_intensity_at(b.azimuth_max);
+  const double flank = b.byram_intensity_at(b.azimuth_max + 90.0);
+  const double back = b.byram_intensity_at(b.azimuth_max + 180.0);
+  EXPECT_GT(head, flank);
+  EXPECT_GT(flank, back);
+  EXPECT_GT(back, 0.0);
+}
+
+TEST(FireOutputsTest, FlameLengthFollowsByram) {
+  const FireBehavior b = windy_grass();
+  const double intensity = b.byram_intensity_at(b.azimuth_max);
+  EXPECT_NEAR(b.flame_length_at(b.azimuth_max),
+              0.45 * std::pow(intensity, 0.46), 1e-9);
+}
+
+TEST(FireOutputsTest, FlameLengthMagnitudeForGrassHeadFire) {
+  // Grass head fires at ~10 mph midflame run with flame lengths of a few
+  // feet — accept a broad band.
+  const FireBehavior b = windy_grass();
+  const double flame = b.flame_length_at(b.azimuth_max);
+  EXPECT_GT(flame, 1.0);
+  EXPECT_LT(flame, 30.0);
+}
+
+TEST(FireOutputsTest, ZeroSpreadGivesZeroOutputs) {
+  const FireSpreadModel model;
+  MoistureSet soaked{0.5, 0.5, 0.5, 3.0, 3.0};
+  const FireBehavior b = model.behavior(1, soaked, {});
+  EXPECT_DOUBLE_EQ(b.byram_intensity_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.flame_length_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.scorch_height_at(0.0, 77.0), 0.0);
+}
+
+TEST(FireOutputsTest, ScorchHeightPositiveAndGrowsWithAirTemperature) {
+  const FireBehavior b = windy_grass();
+  const double cool = b.scorch_height_at(b.azimuth_max, 50.0);
+  const double hot = b.scorch_height_at(b.azimuth_max, 100.0);
+  EXPECT_GT(cool, 0.0);
+  EXPECT_GT(hot, cool);
+}
+
+TEST(FireOutputsTest, ScorchSaturatesAtLethalAirTemperature) {
+  const FireBehavior b = windy_grass();
+  EXPECT_GE(b.scorch_height_at(b.azimuth_max, 140.0), 1e8);
+}
+
+TEST(FireOutputsTest, HeavierFuelsProduceLongerFlames) {
+  const FireSpreadModel model;
+  WindSlope ws{units::mph_to_ft_per_min(6.0), 0.0, 0.0, 0.0};
+  const FireBehavior grass = model.behavior(1, dry(), ws);
+  const FireBehavior slash = model.behavior(13, dry(), ws);
+  EXPECT_GT(slash.flame_length_at(slash.azimuth_max),
+            grass.flame_length_at(grass.azimuth_max) * 0.5);
+  // Slash burns slower but hotter per area: higher heat_per_unit_area.
+  EXPECT_GT(slash.heat_per_unit_area, grass.heat_per_unit_area);
+}
+
+}  // namespace
+}  // namespace essns::firelib

@@ -1,0 +1,233 @@
+#include "firelib/propagator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace essns::firelib {
+namespace {
+
+Scenario calm_grass() {
+  Scenario s;
+  s.model = 1;
+  s.wind_speed = 0.0;
+  s.m1 = 6.0;
+  s.m10 = 7.0;
+  s.m100 = 8.0;
+  s.mherb = 60.0;
+  s.slope = 0.0;
+  return s;
+}
+
+class PropagatorTest : public ::testing::Test {
+ protected:
+  FireSpreadModel model_;
+  FirePropagator propagator_{model_};
+};
+
+TEST_F(PropagatorTest, IgnitionCellHasTimeZero) {
+  FireEnvironment env(21, 21, 100.0);
+  const IgnitionMap map =
+      propagator_.propagate(env, calm_grass(), {{10, 10}}, 60.0);
+  EXPECT_DOUBLE_EQ(map(10, 10), 0.0);
+}
+
+TEST_F(PropagatorTest, FireGrowsOverTime) {
+  FireEnvironment env(41, 41, 100.0);
+  const Scenario s = calm_grass();
+  const IgnitionMap early = propagator_.propagate(env, s, {{20, 20}}, 20.0);
+  const IgnitionMap late = propagator_.propagate(env, s, {{20, 20}}, 60.0);
+  EXPECT_LT(burned_count(early, 20.0), burned_count(late, 60.0));
+}
+
+TEST_F(PropagatorTest, NoWindNoSlopeBurnsSymmetrically) {
+  FireEnvironment env(41, 41, 100.0);
+  const IgnitionMap map =
+      propagator_.propagate(env, calm_grass(), {{20, 20}}, 45.0);
+  for (int r = 0; r < 41; ++r) {
+    for (int c = 0; c < 41; ++c) {
+      // Mirror symmetry across both axes through the center.
+      EXPECT_DOUBLE_EQ(map(r, c), map(40 - r, c));
+      EXPECT_DOUBLE_EQ(map(r, c), map(r, 40 - c));
+    }
+  }
+}
+
+TEST_F(PropagatorTest, IgnitionTimesGrowWithDistance) {
+  FireEnvironment env(41, 41, 100.0);
+  const IgnitionMap map =
+      propagator_.propagate(env, calm_grass(), {{20, 20}}, 60.0);
+  // Along the east axis ignition time is strictly increasing while burned.
+  double previous = 0.0;
+  for (int c = 21; c < 41 && map(20, c) < kNeverIgnited; ++c) {
+    EXPECT_GT(map(20, c), previous);
+    previous = map(20, c);
+  }
+  EXPECT_GT(previous, 0.0);
+}
+
+TEST_F(PropagatorTest, WindSkewsTheBurnedShape) {
+  FireEnvironment env(61, 61, 100.0);
+  Scenario s = calm_grass();
+  s.wind_speed = 15.0;
+  s.wind_dir = 90.0;  // pushing east
+  const IgnitionMap map = propagator_.propagate(env, s, {{30, 30}}, 30.0);
+  // Count burned cells east vs west of the ignition column.
+  std::size_t east = 0, west = 0;
+  for (int r = 0; r < 61; ++r) {
+    for (int c = 0; c < 61; ++c) {
+      if (map(r, c) >= kNeverIgnited) continue;
+      if (c > 30) ++east;
+      if (c < 30) ++west;
+    }
+  }
+  EXPECT_GT(east, 2 * west);
+}
+
+TEST_F(PropagatorTest, UpslopeRunsFaster) {
+  FireEnvironment env(61, 61, 100.0);
+  Scenario s = calm_grass();
+  s.slope = 30.0;
+  s.aspect = 180.0;  // surface faces south => upslope is north (row 0)
+  const IgnitionMap map = propagator_.propagate(env, s, {{30, 30}}, 30.0);
+  std::size_t north = 0, south = 0;
+  for (int r = 0; r < 61; ++r) {
+    for (int c = 0; c < 61; ++c) {
+      if (map(r, c) >= kNeverIgnited) continue;
+      if (r < 30) ++north;
+      if (r > 30) ++south;
+    }
+  }
+  EXPECT_GT(north, south);
+}
+
+TEST_F(PropagatorTest, UnburnableCellsBlockFire) {
+  FireEnvironment env(21, 21, 100.0);
+  // Vertical firebreak (fuel model 0) splitting the map.
+  Grid<std::uint8_t> fuel(21, 21, 1);
+  for (int r = 0; r < 21; ++r) fuel(r, 10) = 0;
+  env.set_fuel_map(std::move(fuel));
+  const IgnitionMap map =
+      propagator_.propagate(env, calm_grass(), {{10, 5}}, 600.0);
+  for (int r = 0; r < 21; ++r) {
+    EXPECT_EQ(map(r, 10), kNeverIgnited);          // the break itself
+    for (int c = 11; c < 21; ++c)
+      EXPECT_EQ(map(r, c), kNeverIgnited) << r << "," << c;  // far side
+  }
+  EXPECT_GT(burned_count(map, 600.0), 1u);  // near side did burn
+}
+
+TEST_F(PropagatorTest, SaturatedFuelNeverSpreads) {
+  FireEnvironment env(11, 11, 100.0);
+  Scenario s = calm_grass();
+  s.m1 = s.m10 = s.m100 = 59.0;  // far above model 1 extinction (12%)
+  const IgnitionMap map = propagator_.propagate(env, s, {{5, 5}}, 600.0);
+  EXPECT_EQ(burned_count(map, 600.0), 1u);  // only the ignition itself
+}
+
+TEST_F(PropagatorTest, ContinuesFromExistingFireLine) {
+  FireEnvironment env(41, 41, 100.0);
+  const Scenario s = calm_grass();
+  const IgnitionMap first = propagator_.propagate(env, s, {{20, 20}}, 30.0);
+  const IgnitionMap resumed = propagator_.propagate(env, s, first, 60.0);
+  const IgnitionMap direct = propagator_.propagate(env, s, {{20, 20}}, 60.0);
+  // Resuming from the 30-minute state must reproduce the direct 60-minute
+  // run exactly (Dijkstra consistency). Never-ignited cells compare equal.
+  for (int r = 0; r < 41; ++r) {
+    for (int c = 0; c < 41; ++c) {
+      if (resumed(r, c) == kNeverIgnited || direct(r, c) == kNeverIgnited) {
+        EXPECT_EQ(resumed(r, c), direct(r, c)) << r << "," << c;
+      } else {
+        EXPECT_NEAR(resumed(r, c), direct(r, c), 1e-9) << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST_F(PropagatorTest, HorizonExcludesLaterCells) {
+  FireEnvironment env(41, 41, 100.0);
+  const IgnitionMap map =
+      propagator_.propagate(env, calm_grass(), {{20, 20}}, 25.0);
+  for (double t : map)
+    EXPECT_TRUE(t <= 25.0 || t == kNeverIgnited);
+}
+
+TEST_F(PropagatorTest, MultipleIgnitionsMerge) {
+  FireEnvironment env(41, 41, 100.0);
+  const IgnitionMap one =
+      propagator_.propagate(env, calm_grass(), {{20, 5}}, 40.0);
+  const IgnitionMap two =
+      propagator_.propagate(env, calm_grass(), {{20, 5}, {20, 35}}, 40.0);
+  EXPECT_GT(burned_count(two, 40.0), burned_count(one, 40.0));
+  // Each cell ignites no later with two sources than with one.
+  for (int r = 0; r < 41; ++r)
+    for (int c = 0; c < 41; ++c) EXPECT_LE(two(r, c), one(r, c));
+}
+
+TEST_F(PropagatorTest, DiagonalNeighboursTakeLongerThanCardinal) {
+  FireEnvironment env(5, 5, 100.0);
+  const IgnitionMap map =
+      propagator_.propagate(env, calm_grass(), {{2, 2}}, 60.0);
+  // With a circular (calm) fire the diagonal neighbour is sqrt(2) farther.
+  ASSERT_LT(map(2, 3), kNeverIgnited);
+  ASSERT_LT(map(3, 3), kNeverIgnited);
+  EXPECT_GT(map(3, 3), map(2, 3));
+  EXPECT_NEAR(map(3, 3) / map(2, 3), std::sqrt(2.0), 0.05);
+}
+
+TEST_F(PropagatorTest, RejectsBadInputs) {
+  FireEnvironment env(5, 5, 100.0);
+  EXPECT_THROW(propagator_.propagate(env, calm_grass(), {{9, 9}}, 10.0),
+               InvalidArgument);
+  EXPECT_THROW(propagator_.propagate(env, calm_grass(), {{1, 1}}, -1.0),
+               InvalidArgument);
+  IgnitionMap wrong(3, 3, kNeverIgnited);
+  EXPECT_THROW(propagator_.propagate(env, calm_grass(), wrong, 10.0),
+               InvalidArgument);
+}
+
+TEST(BurnedMaskTest, ThresholdsByTime) {
+  IgnitionMap map(2, 2, kNeverIgnited);
+  map(0, 0) = 0.0;
+  map(0, 1) = 10.0;
+  map(1, 0) = 20.0;
+  const auto mask = burned_mask(map, 10.0);
+  EXPECT_EQ(mask(0, 0), 1);
+  EXPECT_EQ(mask(0, 1), 1);
+  EXPECT_EQ(mask(1, 0), 0);
+  EXPECT_EQ(mask(1, 1), 0);
+  EXPECT_EQ(burned_count(map, 10.0), 2u);
+  EXPECT_EQ(burned_count(map, 100.0), 3u);
+}
+
+TEST_F(PropagatorTest, PerCellTopographyChangesShape) {
+  // Same scenario, but a topography layer that slopes everything north
+  // should skew the fire north relative to the flat run.
+  FireEnvironment flat(41, 41, 100.0);
+  FireEnvironment hilly(41, 41, 100.0);
+  Grid<double> slope(41, 41, 35.0);
+  Grid<double> aspect(41, 41, 180.0);  // faces south; upslope north
+  hilly.set_topography(std::move(slope), std::move(aspect));
+
+  const IgnitionMap flat_map =
+      propagator_.propagate(flat, calm_grass(), {{20, 20}}, 20.0);
+  const IgnitionMap hill_map =
+      propagator_.propagate(hilly, calm_grass(), {{20, 20}}, 20.0);
+
+  auto north_share = [](const IgnitionMap& m) {
+    std::size_t north = 0, total = 0;
+    for (int r = 0; r < m.rows(); ++r)
+      for (int c = 0; c < m.cols(); ++c)
+        if (m(r, c) < kNeverIgnited) {
+          ++total;
+          if (r < 20) ++north;
+        }
+    return static_cast<double>(north) / static_cast<double>(total);
+  };
+  EXPECT_GT(north_share(hill_map), north_share(flat_map) + 0.1);
+}
+
+}  // namespace
+}  // namespace essns::firelib

@@ -1,0 +1,125 @@
+// Property-style sweeps of the propagator across the whole fuel catalog and
+// environment conditions (TEST_P), checking invariants rather than values.
+#include <gtest/gtest.h>
+
+#include "firelib/propagator.hpp"
+
+namespace essns::firelib {
+namespace {
+
+Scenario dry_scenario(int model) {
+  Scenario s;
+  s.model = model;
+  s.wind_speed = 8.0;
+  s.wind_dir = 90.0;
+  s.m1 = 5.0;
+  s.m10 = 6.0;
+  s.m100 = 8.0;
+  s.mherb = 50.0;
+  s.slope = 10.0;
+  s.aspect = 180.0;
+  return s;
+}
+
+class PropagatorFuelSweep : public ::testing::TestWithParam<int> {
+ protected:
+  FireSpreadModel model_;
+  FirePropagator propagator_{model_};
+};
+
+TEST_P(PropagatorFuelSweep, EveryBurnableModelSpreadsWhenDry) {
+  FireEnvironment env(31, 31, 100.0);
+  const IgnitionMap map =
+      propagator_.propagate(env, dry_scenario(GetParam()), {{15, 15}}, 240.0);
+  EXPECT_GT(burned_count(map, 240.0), 5u) << "model " << GetParam();
+}
+
+TEST_P(PropagatorFuelSweep, IgnitionTimesRespectTriangleConsistency) {
+  // Dijkstra invariant: a cell's time never exceeds any neighbour's time
+  // plus the traversal time from that neighbour.
+  FireEnvironment env(21, 21, 100.0);
+  const Scenario scenario = dry_scenario(GetParam());
+  const IgnitionMap map =
+      propagator_.propagate(env, scenario, {{10, 10}}, 120.0);
+  for (int r = 0; r < 21; ++r) {
+    for (int c = 0; c < 21; ++c) {
+      if (map(r, c) >= kNeverIgnited) continue;
+      // Burned cell must have at least one earlier-burned neighbour unless
+      // it is the origin.
+      if (map(r, c) == 0.0) continue;
+      bool has_earlier = false;
+      for (const auto& d : kEightNeighbours) {
+        const int nr = r + d.row, nc = c + d.col;
+        if (map.in_bounds(nr, nc) && map(nr, nc) < map(r, c))
+          has_earlier = true;
+      }
+      EXPECT_TRUE(has_earlier) << r << "," << c;
+    }
+  }
+}
+
+TEST_P(PropagatorFuelSweep, LongerHorizonIsSuperset) {
+  FireEnvironment env(31, 31, 100.0);
+  const Scenario scenario = dry_scenario(GetParam());
+  const IgnitionMap short_run =
+      propagator_.propagate(env, scenario, {{15, 15}}, 60.0);
+  const IgnitionMap long_run =
+      propagator_.propagate(env, scenario, {{15, 15}}, 180.0);
+  for (int r = 0; r < 31; ++r) {
+    for (int c = 0; c < 31; ++c) {
+      if (short_run(r, c) < kNeverIgnited) {
+        // Identical times for cells inside the shorter horizon.
+        EXPECT_NEAR(long_run(r, c), short_run(r, c), 1e-9);
+      }
+    }
+  }
+  EXPECT_GE(burned_count(long_run, 180.0), burned_count(short_run, 60.0));
+}
+
+TEST_P(PropagatorFuelSweep, WindRotationRotatesTheBurn) {
+  // Pushing east then pushing south must burn mirror-image cell counts on a
+  // symmetric map (discretization-exact because the grid is 8-symmetric).
+  FireEnvironment env(41, 41, 100.0);
+  Scenario east = dry_scenario(GetParam());
+  east.slope = 0.0;  // isolate wind
+  east.wind_dir = 90.0;
+  Scenario south = east;
+  south.wind_dir = 180.0;
+  const IgnitionMap east_map =
+      propagator_.propagate(env, east, {{20, 20}}, 40.0);
+  const IgnitionMap south_map =
+      propagator_.propagate(env, south, {{20, 20}}, 40.0);
+  // Transpose symmetry: east_map(r, c) == south_map(c, r).
+  for (int r = 0; r < 41; ++r)
+    for (int c = 0; c < 41; ++c)
+      EXPECT_EQ(east_map(r, c) < kNeverIgnited,
+                south_map(c, r) < kNeverIgnited)
+          << r << "," << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PropagatorFuelSweep,
+                         ::testing::Range(1, 14));
+
+class PropagatorMoistureSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PropagatorMoistureSweep, WetterFuelBurnsLessArea) {
+  const FireSpreadModel model;
+  const FirePropagator propagator(model);
+  FireEnvironment env(31, 31, 100.0);
+  Scenario s = dry_scenario(9);
+  s.m1 = GetParam();
+  s.m10 = GetParam();
+  const IgnitionMap map = propagator.propagate(env, s, {{15, 15}}, 120.0);
+  Scenario wetter = s;
+  wetter.m1 += 5.0;
+  wetter.m10 += 5.0;
+  const IgnitionMap wet_map =
+      propagator.propagate(env, wetter, {{15, 15}}, 120.0);
+  EXPECT_GE(burned_count(map, 120.0), burned_count(wet_map, 120.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(MoistureLevels, PropagatorMoistureSweep,
+                         ::testing::Values(3.0, 8.0, 14.0, 20.0));
+
+}  // namespace
+}  // namespace essns::firelib

@@ -1,0 +1,209 @@
+#include "firelib/rothermel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace essns::firelib {
+namespace {
+
+MoistureSet dry() { return {0.06, 0.08, 0.10, 0.60, 0.90}; }
+
+class RothermelAllModels : public ::testing::TestWithParam<int> {};
+
+TEST_P(RothermelAllModels, NoWindNoSlopeSpreadIsPositiveForDryFuel) {
+  const FireSpreadModel model;
+  const FireBehavior b = model.behavior(GetParam(), dry(), {});
+  EXPECT_GT(b.spread_rate_no_wind, 0.0) << "model " << GetParam();
+  EXPECT_GT(b.reaction_intensity, 0.0);
+  EXPECT_DOUBLE_EQ(b.spread_rate_max, b.spread_rate_no_wind);
+  EXPECT_DOUBLE_EQ(b.eccentricity, 0.0);
+}
+
+TEST_P(RothermelAllModels, WindIncreasesSpread) {
+  const FireSpreadModel model;
+  const FireBehavior calm = model.behavior(GetParam(), dry(), {});
+  WindSlope windy{units::mph_to_ft_per_min(10.0), 0.0, 0.0, 0.0};
+  const FireBehavior blown = model.behavior(GetParam(), dry(), windy);
+  EXPECT_GT(blown.spread_rate_max, calm.spread_rate_max);
+  EXPECT_GT(blown.eccentricity, 0.0);
+  EXPECT_LT(blown.eccentricity, 1.0);
+}
+
+TEST_P(RothermelAllModels, WindSpeedMonotonicity) {
+  const FireSpreadModel model;
+  double previous = 0.0;
+  for (double mph = 0.0; mph <= 30.0; mph += 5.0) {
+    WindSlope ws{units::mph_to_ft_per_min(mph), 90.0, 0.0, 0.0};
+    const FireBehavior b = model.behavior(GetParam(), dry(), ws);
+    EXPECT_GE(b.spread_rate_max, previous)
+        << "model " << GetParam() << " at " << mph << " mph";
+    previous = b.spread_rate_max;
+  }
+}
+
+TEST_P(RothermelAllModels, MoistureDampensSpread) {
+  const FireSpreadModel model;
+  MoistureSet wetter = dry();
+  wetter.m1 = 0.12;
+  wetter.m10 = 0.14;
+  wetter.m100 = 0.16;
+  const FireBehavior dry_b = model.behavior(GetParam(), dry(), {});
+  const FireBehavior wet_b = model.behavior(GetParam(), wetter, {});
+  EXPECT_LE(wet_b.spread_rate_no_wind, dry_b.spread_rate_no_wind);
+}
+
+TEST_P(RothermelAllModels, SaturatedDeadFuelDoesNotSpread) {
+  const FireSpreadModel model;
+  // Above every model's dead extinction moisture (max 40%).
+  MoistureSet soaked{0.5, 0.5, 0.5, 3.0, 3.0};
+  const FireBehavior b = model.behavior(GetParam(), soaked, {});
+  EXPECT_DOUBLE_EQ(b.spread_rate_max, 0.0);
+}
+
+TEST_P(RothermelAllModels, SlopeIncreasesSpreadUpslope) {
+  const FireSpreadModel model;
+  const FireBehavior flat = model.behavior(GetParam(), dry(), {});
+  WindSlope sloped{0.0, 0.0, units::slope_degrees_to_ratio(30.0), 0.0};
+  const FireBehavior hill = model.behavior(GetParam(), dry(), sloped);
+  EXPECT_GT(hill.spread_rate_max, flat.spread_rate_max);
+  EXPECT_DOUBLE_EQ(hill.azimuth_max, 0.0);  // upslope azimuth
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStandardModels, RothermelAllModels,
+                         ::testing::Range(1, 14));
+
+TEST(RothermelTest, UnburnableModelZero) {
+  const FireSpreadModel model;
+  const FireBehavior b = model.behavior(0, dry(), {});
+  EXPECT_DOUBLE_EQ(b.spread_rate_max, 0.0);
+  EXPECT_DOUBLE_EQ(b.reaction_intensity, 0.0);
+}
+
+TEST(RothermelTest, MaxSpreadFollowsWindDirection) {
+  const FireSpreadModel model;
+  for (double dir : {0.0, 45.0, 90.0, 180.0, 270.0, 315.0}) {
+    WindSlope ws{units::mph_to_ft_per_min(8.0), dir, 0.0, 0.0};
+    const FireBehavior b = model.behavior(1, dry(), ws);
+    EXPECT_NEAR(b.azimuth_max, dir, 1e-6);
+  }
+}
+
+TEST(RothermelTest, WindAndSlopeCombineVectorially) {
+  const FireSpreadModel model;
+  // Wind east (90), upslope north (0): max spread azimuth lies between.
+  WindSlope ws{units::mph_to_ft_per_min(6.0), 90.0,
+               units::slope_degrees_to_ratio(20.0), 0.0};
+  const FireBehavior b = model.behavior(1, dry(), ws);
+  EXPECT_GT(b.azimuth_max, 0.0);
+  EXPECT_LT(b.azimuth_max, 90.0);
+}
+
+TEST(RothermelTest, SpreadRateAtAzimuthPeaksAtMaxDirection) {
+  const FireSpreadModel model;
+  WindSlope ws{units::mph_to_ft_per_min(12.0), 90.0, 0.0, 0.0};
+  const FireBehavior b = model.behavior(1, dry(), ws);
+  const double peak = b.spread_rate_at(b.azimuth_max);
+  EXPECT_NEAR(peak, b.spread_rate_max, 1e-9);
+  for (double az = 0.0; az < 360.0; az += 15.0)
+    EXPECT_LE(b.spread_rate_at(az), peak + 1e-9);
+}
+
+TEST(RothermelTest, BackingSpreadIsSlowestAndPositive) {
+  const FireSpreadModel model;
+  WindSlope ws{units::mph_to_ft_per_min(12.0), 0.0, 0.0, 0.0};
+  const FireBehavior b = model.behavior(1, dry(), ws);
+  const double backing = b.spread_rate_at(180.0);
+  EXPECT_GT(backing, 0.0);
+  for (double az = 0.0; az < 360.0; az += 15.0)
+    EXPECT_GE(b.spread_rate_at(az), backing - 1e-9);
+}
+
+TEST(RothermelTest, EllipseIsSymmetricAroundMaxAxis) {
+  const FireSpreadModel model;
+  WindSlope ws{units::mph_to_ft_per_min(9.0), 45.0, 0.0, 0.0};
+  const FireBehavior b = model.behavior(3, dry(), ws);
+  for (double off : {30.0, 60.0, 90.0, 120.0}) {
+    EXPECT_NEAR(b.spread_rate_at(45.0 + off), b.spread_rate_at(45.0 - off),
+                1e-9);
+  }
+}
+
+TEST(RothermelTest, GrassFasterThanTimberLitter) {
+  // Model 1 (short grass) spreads much faster than model 8 (closed timber
+  // litter) under identical conditions — the defining contrast of the NFFL
+  // set.
+  const FireSpreadModel model;
+  WindSlope ws{units::mph_to_ft_per_min(5.0), 0.0, 0.0, 0.0};
+  const FireBehavior grass = model.behavior(1, dry(), ws);
+  const FireBehavior litter = model.behavior(8, dry(), ws);
+  EXPECT_GT(grass.spread_rate_max, 5.0 * litter.spread_rate_max);
+}
+
+TEST(RothermelTest, ReasonableMagnitudeForGrass) {
+  // Model 1, 5% moisture, 5 mph midflame wind: BEHAVE-family tools report
+  // roughly 50-120 ft/min. Accept a generous band — we validate magnitude,
+  // not decimals.
+  const FireSpreadModel model;
+  MoistureSet m{0.05, 0.06, 0.07, 0.6, 0.9};
+  WindSlope ws{units::mph_to_ft_per_min(5.0), 0.0, 0.0, 0.0};
+  const FireBehavior b = model.behavior(1, m, ws);
+  EXPECT_GT(b.spread_rate_max, 20.0);
+  EXPECT_LT(b.spread_rate_max, 300.0);
+}
+
+TEST(RothermelTest, HeatPerUnitAreaPositiveAndScalesWithLoad) {
+  const FireSpreadModel model;
+  const FireBehavior light = model.behavior(1, dry(), {});
+  const FireBehavior heavy = model.behavior(13, dry(), {});
+  EXPECT_GT(light.heat_per_unit_area, 0.0);
+  EXPECT_GT(heavy.heat_per_unit_area, light.heat_per_unit_area);
+}
+
+TEST(RothermelTest, WindLimitCapsExtremWind) {
+  const FireSpreadModel model;
+  // Hurricane wind over modest fuel triggers Rothermel's 0.9*I_R cap.
+  WindSlope ws{units::mph_to_ft_per_min(80.0), 0.0, 0.0, 0.0};
+  const FireBehavior b = model.behavior(8, dry(), ws);
+  EXPECT_TRUE(b.wind_limit_hit);
+  EXPECT_LE(b.effective_wind_fpm, 0.9 * b.reaction_intensity + 1e-6);
+}
+
+TEST(RothermelTest, RejectsNegativeInputs) {
+  const FireSpreadModel model;
+  MoistureSet bad = dry();
+  bad.m1 = -0.1;
+  EXPECT_THROW(model.behavior(1, bad, {}), InvalidArgument);
+  WindSlope neg_wind{-1.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW(model.behavior(1, dry(), neg_wind), InvalidArgument);
+  WindSlope neg_slope{0.0, 0.0, -0.5, 0.0};
+  EXPECT_THROW(model.behavior(1, dry(), neg_slope), InvalidArgument);
+  EXPECT_THROW(model.behavior(99, dry(), {}), InvalidArgument);
+}
+
+TEST(RothermelTest, FuelBedIntermediatesSanity) {
+  const FuelBedIntermediates bed =
+      compute_fuel_bed(FuelCatalog::standard().model(1));
+  EXPECT_TRUE(bed.burnable);
+  EXPECT_NEAR(bed.sigma, 3500.0, 1e-9);  // single-particle model
+  EXPECT_GT(bed.packing_ratio, 0.0);
+  EXPECT_LT(bed.packing_ratio, 0.1);
+  EXPECT_GT(bed.xi, 0.0);
+  EXPECT_LT(bed.xi, 1.0);
+  EXPECT_GT(bed.gamma, 0.0);
+}
+
+TEST(RothermelTest, LiveFuelMoistureMattersForChaparral) {
+  const FireSpreadModel model;
+  MoistureSet dry_live = dry();
+  MoistureSet wet_live = dry();
+  wet_live.mwood = 3.0;  // 300% live moisture
+  dry_live.mwood = 0.5;
+  const FireBehavior dry_b = model.behavior(4, dry_live, {});
+  const FireBehavior wet_b = model.behavior(4, wet_live, {});
+  EXPECT_GT(dry_b.reaction_intensity, wet_b.reaction_intensity);
+}
+
+}  // namespace
+}  // namespace essns::firelib

@@ -1,0 +1,208 @@
+#include "firelib/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace essns::firelib {
+namespace {
+
+Scenario mid() {
+  Scenario s;
+  s.model = 7;
+  s.wind_speed = 40.0;
+  s.wind_dir = 180.0;
+  s.m1 = 30.0;
+  s.m10 = 30.0;
+  s.m100 = 30.0;
+  s.mherb = 165.0;
+  s.slope = 40.0;
+  s.aspect = 180.0;
+  return s;
+}
+
+TEST(ScenarioSpaceTest, TableOneHasNineParameters) {
+  const auto& space = ScenarioSpace::table1();
+  EXPECT_EQ(static_cast<int>(space.specs().size()), kParamCount);
+  EXPECT_EQ(kParamCount, 9);
+}
+
+TEST(ScenarioSpaceTest, TableOneRangesMatchPaper) {
+  const auto& space = ScenarioSpace::table1();
+  // Exactly the ranges printed in Table I of the paper.
+  EXPECT_EQ(space.spec(kModel).lo, 1);
+  EXPECT_EQ(space.spec(kModel).hi, 13);
+  EXPECT_EQ(space.spec(kWindSpd).lo, 0);
+  EXPECT_EQ(space.spec(kWindSpd).hi, 80);
+  EXPECT_EQ(space.spec(kWindDir).hi, 360);
+  EXPECT_EQ(space.spec(kM1).lo, 1);
+  EXPECT_EQ(space.spec(kM1).hi, 60);
+  EXPECT_EQ(space.spec(kM10).lo, 1);
+  EXPECT_EQ(space.spec(kM10).hi, 60);
+  EXPECT_EQ(space.spec(kM100).lo, 1);
+  EXPECT_EQ(space.spec(kM100).hi, 60);
+  EXPECT_EQ(space.spec(kMherb).lo, 30);
+  EXPECT_EQ(space.spec(kMherb).hi, 300);
+  EXPECT_EQ(space.spec(kSlope).lo, 0);
+  EXPECT_EQ(space.spec(kSlope).hi, 81);
+  EXPECT_EQ(space.spec(kAspect).hi, 360);
+}
+
+TEST(ScenarioSpaceTest, UnitsMatchPaper) {
+  const auto& space = ScenarioSpace::table1();
+  EXPECT_EQ(space.spec(kWindSpd).unit, "miles/hour");
+  EXPECT_EQ(space.spec(kM1).unit, "percent");
+  EXPECT_EQ(space.spec(kSlope).unit, "degrees");
+}
+
+TEST(ScenarioSpaceTest, DefaultScenarioIsValid) {
+  EXPECT_TRUE(ScenarioSpace::table1().is_valid(Scenario{}));
+}
+
+TEST(ScenarioSpaceTest, DetectsOutOfRangeFields) {
+  const auto& space = ScenarioSpace::table1();
+  Scenario s = mid();
+  s.model = 0;
+  EXPECT_FALSE(space.is_valid(s));
+  s = mid();
+  s.wind_speed = 81.0;
+  EXPECT_FALSE(space.is_valid(s));
+  s = mid();
+  s.m1 = 0.5;
+  EXPECT_FALSE(space.is_valid(s));
+  s = mid();
+  s.mherb = 301.0;
+  EXPECT_FALSE(space.is_valid(s));
+  s = mid();
+  s.slope = 82.0;
+  EXPECT_FALSE(space.is_valid(s));
+  s = mid();
+  s.aspect = -1.0;
+  EXPECT_FALSE(space.is_valid(s));
+}
+
+TEST(ScenarioSpaceTest, ClampBringsEverythingInRange) {
+  const auto& space = ScenarioSpace::table1();
+  Scenario s;
+  s.model = 20;
+  s.wind_speed = 200.0;
+  s.wind_dir = 450.0;   // circular: wraps to 90
+  s.m1 = -5.0;
+  s.m10 = 100.0;
+  s.m100 = 0.0;
+  s.mherb = 1.0;
+  s.slope = 90.0;
+  s.aspect = -90.0;     // circular: wraps to 270
+  const Scenario c = space.clamp(s);
+  EXPECT_TRUE(space.is_valid(c));
+  EXPECT_EQ(c.model, 13);
+  EXPECT_DOUBLE_EQ(c.wind_speed, 80.0);
+  EXPECT_DOUBLE_EQ(c.wind_dir, 90.0);
+  EXPECT_DOUBLE_EQ(c.m1, 1.0);
+  EXPECT_DOUBLE_EQ(c.aspect, 270.0);
+}
+
+TEST(ScenarioSpaceTest, SampleAlwaysValid) {
+  const auto& space = ScenarioSpace::table1();
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const Scenario s = space.sample(rng);
+    EXPECT_TRUE(space.is_valid(s)) << s.to_string();
+  }
+}
+
+TEST(ScenarioSpaceTest, SampleCoversAllFuelModels) {
+  const auto& space = ScenarioSpace::table1();
+  Rng rng(77);
+  std::array<bool, 14> seen{};
+  for (int i = 0; i < 2000; ++i) seen[static_cast<size_t>(space.sample(rng).model)] = true;
+  for (int m = 1; m <= 13; ++m) EXPECT_TRUE(seen[static_cast<size_t>(m)]) << m;
+}
+
+TEST(ScenarioSpaceTest, EncodeDecodeRoundTripsContinuousFields) {
+  const auto& space = ScenarioSpace::table1();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Scenario s = space.sample(rng);
+    const Scenario back = space.decode(space.encode(s));
+    EXPECT_EQ(back.model, s.model);
+    EXPECT_NEAR(back.wind_speed, s.wind_speed, 1e-9);
+    EXPECT_NEAR(back.wind_dir, s.wind_dir, 1e-9);
+    EXPECT_NEAR(back.m1, s.m1, 1e-9);
+    EXPECT_NEAR(back.m10, s.m10, 1e-9);
+    EXPECT_NEAR(back.m100, s.m100, 1e-9);
+    EXPECT_NEAR(back.mherb, s.mherb, 1e-9);
+    EXPECT_NEAR(back.slope, s.slope, 1e-9);
+    EXPECT_NEAR(back.aspect, s.aspect, 1e-9);
+  }
+}
+
+TEST(ScenarioSpaceTest, EncodeProducesUnitGenome) {
+  const auto& space = ScenarioSpace::table1();
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const auto genome = space.encode(space.sample(rng));
+    ASSERT_EQ(genome.size(), 9u);
+    for (double g : genome) {
+      EXPECT_GE(g, 0.0);
+      EXPECT_LE(g, 1.0);
+    }
+  }
+}
+
+TEST(ScenarioSpaceTest, DecodeClampsNonCircularGenes) {
+  const auto& space = ScenarioSpace::table1();
+  std::vector<double> genome(9, 0.5);
+  genome[kWindSpd] = 1.5;   // overshoot clamps to hi
+  genome[kM1] = -0.2;       // undershoot clamps to lo
+  const Scenario s = space.decode(genome);
+  EXPECT_DOUBLE_EQ(s.wind_speed, 80.0);
+  EXPECT_DOUBLE_EQ(s.m1, 1.0);
+}
+
+TEST(ScenarioSpaceTest, DecodeWrapsCircularGenes) {
+  const auto& space = ScenarioSpace::table1();
+  std::vector<double> genome(9, 0.5);
+  genome[kWindDir] = 1.25;  // wraps to 0.25 -> 90 degrees
+  const Scenario s = space.decode(genome);
+  EXPECT_NEAR(s.wind_dir, 90.0, 1e-9);
+}
+
+TEST(ScenarioSpaceTest, DecodeModelBinsAreUniform) {
+  const auto& space = ScenarioSpace::table1();
+  std::vector<double> genome(9, 0.5);
+  genome[kModel] = 0.0;
+  EXPECT_EQ(space.decode(genome).model, 1);
+  genome[kModel] = 0.999999;
+  EXPECT_EQ(space.decode(genome).model, 13);
+  genome[kModel] = 0.5;
+  EXPECT_EQ(space.decode(genome).model, 7);
+}
+
+TEST(ScenarioSpaceTest, EncodeRejectsInvalidScenario) {
+  Scenario s = mid();
+  s.wind_speed = 500.0;
+  EXPECT_THROW(ScenarioSpace::table1().encode(s), InvalidArgument);
+}
+
+TEST(ScenarioSpaceTest, DecodeRejectsWrongDimension) {
+  EXPECT_THROW(ScenarioSpace::table1().decode(std::vector<double>(8, 0.5)),
+               InvalidArgument);
+}
+
+TEST(ScenarioTest, ToStringMentionsAllFields) {
+  const std::string text = mid().to_string();
+  EXPECT_NE(text.find("model=7"), std::string::npos);
+  EXPECT_NE(text.find("wind=40"), std::string::npos);
+  EXPECT_NE(text.find("slope=40"), std::string::npos);
+}
+
+TEST(ScenarioTest, EqualityIsFieldWise) {
+  EXPECT_EQ(mid(), mid());
+  Scenario other = mid();
+  other.m10 += 1.0;
+  EXPECT_NE(mid(), other);
+}
+
+}  // namespace
+}  // namespace essns::firelib

@@ -1,0 +1,138 @@
+#include "metrics/diversity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ea/ga.hpp"
+#include "ea/landscapes.hpp"
+
+namespace essns::metrics {
+namespace {
+
+ea::Population make_pop(std::initializer_list<std::pair<double, double>> rows) {
+  // Each pair: (gene value replicated twice, fitness).
+  ea::Population pop;
+  for (const auto& [gene, fitness] : rows) {
+    ea::Individual ind;
+    ind.genome = {gene, gene};
+    ind.fitness = fitness;
+    pop.push_back(ind);
+  }
+  return pop;
+}
+
+TEST(GenotypicDiversityTest, ZeroForIdenticalPopulation) {
+  const auto pop = make_pop({{0.5, 0.1}, {0.5, 0.2}, {0.5, 0.3}});
+  EXPECT_DOUBLE_EQ(genotypic_diversity(pop), 0.0);
+}
+
+TEST(GenotypicDiversityTest, ZeroForSingleton) {
+  const auto pop = make_pop({{0.5, 0.1}});
+  EXPECT_DOUBLE_EQ(genotypic_diversity(pop), 0.0);
+}
+
+TEST(GenotypicDiversityTest, HandComputedPair) {
+  // Genomes {0,0} and {1,1}: distance sqrt(2).
+  const auto pop = make_pop({{0.0, 0.1}, {1.0, 0.2}});
+  EXPECT_NEAR(genotypic_diversity(pop), std::sqrt(2.0), 1e-12);
+}
+
+TEST(GenotypicDiversityTest, SpreadPopulationScoresHigher) {
+  const auto tight = make_pop({{0.4, 0}, {0.45, 0}, {0.5, 0}});
+  const auto wide = make_pop({{0.0, 0}, {0.5, 0}, {1.0, 0}});
+  EXPECT_GT(genotypic_diversity(wide), genotypic_diversity(tight));
+}
+
+TEST(FitnessIqrTest, MatchesStatisticsIqr) {
+  const auto pop =
+      make_pop({{0, 1.0}, {0, 2.0}, {0, 3.0}, {0, 4.0}, {0, 5.0}});
+  EXPECT_DOUBLE_EQ(fitness_iqr(pop), 2.0);  // Q3=4, Q1=2
+}
+
+TEST(FitnessIqrTest, SmallPopulationReturnsZero) {
+  EXPECT_DOUBLE_EQ(fitness_iqr(make_pop({{0, 1.0}, {0, 5.0}})), 0.0);
+}
+
+TEST(FitnessIqrTest, IgnoresUnevaluated) {
+  auto pop = make_pop({{0, 1.0}, {0, 2.0}, {0, 3.0}, {0, 4.0}});
+  ea::Individual raw;
+  raw.genome = {0.5, 0.5};
+  pop.push_back(raw);  // NaN fitness must not poison the quartiles
+  EXPECT_GT(fitness_iqr(pop), 0.0);
+}
+
+TEST(FitnessStddevTest, ZeroForConstant) {
+  EXPECT_DOUBLE_EQ(fitness_stddev(make_pop({{0, 2.0}, {0, 2.0}, {0, 2.0}})),
+                   0.0);
+}
+
+TEST(FitnessStddevTest, KnownValue) {
+  EXPECT_NEAR(fitness_stddev(make_pop({{0, 1.0}, {0, 3.0}})), std::sqrt(2.0),
+              1e-12);
+}
+
+TEST(CentroidSpreadTest, ZeroForIdentical) {
+  EXPECT_DOUBLE_EQ(centroid_spread(make_pop({{0.3, 0}, {0.3, 0}})), 0.0);
+}
+
+TEST(CentroidSpreadTest, SymmetricPair) {
+  // Genomes {0,0} and {1,1}: centroid {0.5,0.5}, each at distance sqrt(0.5).
+  const auto pop = make_pop({{0.0, 0}, {1.0, 0}});
+  EXPECT_NEAR(centroid_spread(pop), std::sqrt(0.5), 1e-12);
+}
+
+TEST(TrajectoryRecorderTest, CapturesPerGenerationRows) {
+  TrajectoryRecorder recorder;
+  Rng rng(1);
+  ea::GaConfig cfg;
+  cfg.population_size = 10;
+  cfg.offspring_count = 10;
+  ea::run_ga(cfg, 3, ea::landscapes::batch(ea::landscapes::sphere), {6, 2.0},
+             rng, recorder.observer());
+  ASSERT_EQ(recorder.rows().size(), 7u);  // generations 0..6
+  for (std::size_t i = 0; i < recorder.rows().size(); ++i) {
+    const auto& row = recorder.rows()[i];
+    EXPECT_EQ(row.generation, static_cast<int>(i));
+    EXPECT_GE(row.best_fitness, row.mean_fitness);
+    EXPECT_GE(row.diversity, 0.0);
+  }
+}
+
+TEST(TrajectoryRecorderTest, CollapseGenerationDetectsConvergence) {
+  TrajectoryRecorder recorder;
+  const auto observer = recorder.observer();
+  // Synthetic trajectory: diversity 1.0 then 0.05 at generation 3.
+  auto pop_with_spread = [](double spread) {
+    ea::Population pop;
+    for (int i = 0; i < 4; ++i) {
+      ea::Individual ind;
+      ind.genome = {0.5 + spread * i};
+      ind.fitness = 0.5;
+      pop.push_back(ind);
+    }
+    return pop;
+  };
+  observer(0, pop_with_spread(0.3));
+  observer(1, pop_with_spread(0.2));
+  observer(2, pop_with_spread(0.1));
+  observer(3, pop_with_spread(0.001));
+  EXPECT_EQ(recorder.collapse_generation(0.1), 3);
+}
+
+TEST(TrajectoryRecorderTest, NoCollapseReturnsMinusOne) {
+  TrajectoryRecorder recorder;
+  const auto observer = recorder.observer();
+  ea::Population pop(3);
+  for (int i = 0; i < 3; ++i) {
+    pop[static_cast<size_t>(i)].genome = {0.2 * i};
+    pop[static_cast<size_t>(i)].fitness = 0.1;
+  }
+  observer(0, pop);
+  observer(1, pop);
+  EXPECT_EQ(recorder.collapse_generation(0.5), -1);
+  recorder.clear();
+  EXPECT_TRUE(recorder.rows().empty());
+  EXPECT_EQ(recorder.collapse_generation(), -1);
+}
+
+}  // namespace
+}  // namespace essns::metrics

@@ -1,0 +1,125 @@
+#include "parallel/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace essns::parallel {
+namespace {
+
+TEST(ChannelTest, SendReceiveSingleValue) {
+  Channel<int> ch;
+  EXPECT_TRUE(ch.send(42));
+  const auto v = ch.receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(ChannelTest, PreservesFifoOrder) {
+  Channel<int> ch;
+  for (int i = 0; i < 10; ++i) ch.send(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(*ch.receive(), i);
+}
+
+TEST(ChannelTest, TryReceiveEmptyReturnsNullopt) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
+TEST(ChannelTest, CloseWakesReceivers) {
+  Channel<int> ch;
+  std::thread receiver([&] {
+    const auto v = ch.receive();
+    EXPECT_FALSE(v.has_value());
+  });
+  ch.close();
+  receiver.join();
+}
+
+TEST(ChannelTest, DrainsQueuedItemsAfterClose) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  ch.close();
+  EXPECT_EQ(*ch.receive(), 1);
+  EXPECT_EQ(*ch.receive(), 2);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(ChannelTest, SendAfterCloseFails) {
+  Channel<int> ch;
+  ch.close();
+  EXPECT_FALSE(ch.send(1));
+  EXPECT_FALSE(ch.try_send(1));
+}
+
+TEST(ChannelTest, BoundedCapacityTrySendFillsUp) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_TRUE(ch.try_send(2));
+  EXPECT_FALSE(ch.try_send(3));
+  ch.receive();
+  EXPECT_TRUE(ch.try_send(3));
+}
+
+TEST(ChannelTest, BoundedSendBlocksUntilSpace) {
+  Channel<int> ch(1);
+  ch.send(1);
+  std::thread producer([&] { EXPECT_TRUE(ch.send(2)); });
+  // Give the producer a moment to block, then free a slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(*ch.receive(), 1);
+  producer.join();
+  EXPECT_EQ(*ch.receive(), 2);
+}
+
+TEST(ChannelTest, SizeTracksQueue) {
+  Channel<int> ch;
+  EXPECT_EQ(ch.size(), 0u);
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.size(), 2u);
+  ch.receive();
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(ChannelTest, ManyProducersManyConsumers) {
+  Channel<int> ch;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) ch.send(p * kPerProducer + i);
+    });
+  }
+  std::atomic<int> received{0};
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> consumers;
+  for (int cth = 0; cth < 3; ++cth) {
+    consumers.emplace_back([&] {
+      while (auto v = ch.receive()) {
+        sum += *v;
+        ++received;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ch.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(received.load(), kProducers * kPerProducer);
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ChannelTest, MoveOnlyPayload) {
+  Channel<std::unique_ptr<int>> ch;
+  ch.send(std::make_unique<int>(7));
+  auto v = ch.receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+}  // namespace
+}  // namespace essns::parallel

@@ -1,0 +1,107 @@
+#include "parallel/master_worker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace essns::parallel {
+namespace {
+
+TEST(MasterWorkerTest, ResultsComeBackInTaskOrder) {
+  MasterWorker<int, int> mw(4, [](unsigned, const int& x) { return x * x; });
+  std::vector<int> tasks;
+  for (int i = 0; i < 100; ++i) tasks.push_back(i);
+  const std::vector<int> results = mw.evaluate(tasks);
+  ASSERT_EQ(results.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+}
+
+TEST(MasterWorkerTest, EmptyBatch) {
+  MasterWorker<int, int> mw(2, [](unsigned, const int& x) { return x; });
+  EXPECT_TRUE(mw.evaluate({}).empty());
+}
+
+TEST(MasterWorkerTest, SingleWorkerStillWorks) {
+  MasterWorker<int, int> mw(1, [](unsigned, const int& x) { return x + 1; });
+  EXPECT_EQ(mw.evaluate({1, 2, 3}), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(MasterWorkerTest, MultipleBatchesReuseWorkers) {
+  MasterWorker<int, int> mw(3, [](unsigned, const int& x) { return -x; });
+  for (int round = 0; round < 5; ++round) {
+    const auto out = mw.evaluate({round, round + 1});
+    EXPECT_EQ(out[0], -round);
+    EXPECT_EQ(out[1], -(round + 1));
+  }
+}
+
+TEST(MasterWorkerTest, WorkerExceptionPropagatesAfterDrain) {
+  MasterWorker<int, int> mw(2, [](unsigned, const int& x) {
+    if (x == 3) throw std::runtime_error("bad scenario");
+    return x;
+  });
+  EXPECT_THROW(mw.evaluate({1, 2, 3, 4}), std::runtime_error);
+  // The pool must still be usable after a failed batch.
+  EXPECT_EQ(mw.evaluate({5}), std::vector<int>{5});
+}
+
+TEST(MasterWorkerTest, LoadIsDistributed) {
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  MasterWorker<int, int> mw(4, [&](unsigned, const int& x) {
+    const int now = ++concurrent;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {}
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    --concurrent;
+    return x;
+  });
+  std::vector<int> tasks(64, 1);
+  mw.evaluate(tasks);
+  std::size_t total = 0;
+  for (unsigned w = 0; w < mw.worker_count(); ++w) total += mw.processed_by(w);
+  EXPECT_EQ(total, 64u);
+  // With 4 workers and sleeping tasks, at least 2 ran concurrently
+  // (scheduling-dependent; conservative bound even on one core).
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(MasterWorkerTest, WorkerIdWithinRange) {
+  std::mutex mutex;
+  std::set<unsigned> ids;
+  MasterWorker<int, int> mw(3, [&](unsigned id, const int& x) {
+    std::lock_guard lock(mutex);
+    ids.insert(id);
+    return x;
+  });
+  mw.evaluate(std::vector<int>(50, 0));
+  for (unsigned id : ids) EXPECT_LT(id, 3u);
+}
+
+TEST(MasterWorkerTest, RejectsZeroWorkers) {
+  using MW = MasterWorker<int, int>;
+  EXPECT_THROW(MW(0, [](unsigned, const int& x) { return x; }),
+               InvalidArgument);
+}
+
+TEST(MasterWorkerTest, ProcessedByRejectsBadId) {
+  MasterWorker<int, int> mw(2, [](unsigned, const int& x) { return x; });
+  EXPECT_THROW(mw.processed_by(5), InvalidArgument);
+}
+
+TEST(MasterWorkerTest, HeavyPayloadRoundTrip) {
+  // Simulation-map-sized payloads survive the scatter/gather.
+  MasterWorker<std::vector<double>, double> mw(
+      2, [](unsigned, const std::vector<double>& v) {
+        double sum = 0.0;
+        for (double x : v) sum += x;
+        return sum;
+      });
+  std::vector<std::vector<double>> tasks(10, std::vector<double>(4096, 0.5));
+  const auto results = mw.evaluate(tasks);
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 2048.0);
+}
+
+}  // namespace
+}  // namespace essns::parallel

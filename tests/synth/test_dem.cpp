@@ -1,0 +1,140 @@
+#include "synth/dem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace essns::synth {
+namespace {
+
+TEST(DemTest, OutputHasRequestedSizeAndRange) {
+  Rng rng(1);
+  DemConfig cfg;
+  cfg.size = 40;
+  cfg.relief_ft = 600.0;
+  const Grid<double> dem = diamond_square_dem(cfg, rng);
+  EXPECT_EQ(dem.rows(), 40);
+  EXPECT_EQ(dem.cols(), 40);
+  double lo = 1e18, hi = -1e18;
+  for (double v : dem) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 600.0 + 1e-9);
+  EXPECT_GT(hi - lo, 100.0);  // actual relief, not a flat map
+}
+
+TEST(DemTest, DeterministicForSeed) {
+  DemConfig cfg;
+  cfg.size = 17;
+  Rng a(5), b(5);
+  EXPECT_EQ(diamond_square_dem(cfg, a), diamond_square_dem(cfg, b));
+}
+
+TEST(DemTest, DifferentSeedsDiffer) {
+  DemConfig cfg;
+  cfg.size = 17;
+  Rng a(5), b(6);
+  EXPECT_NE(diamond_square_dem(cfg, a), diamond_square_dem(cfg, b));
+}
+
+TEST(DemTest, RoughnessControlsJaggedness) {
+  DemConfig smooth_cfg;
+  smooth_cfg.size = 33;
+  smooth_cfg.roughness = 0.3;
+  DemConfig rough_cfg = smooth_cfg;
+  rough_cfg.roughness = 0.9;
+  Rng a(9), b(9);
+  const auto smooth = diamond_square_dem(smooth_cfg, a);
+  const auto rough = diamond_square_dem(rough_cfg, b);
+  // Total variation (sum of |neighbour differences|) is higher when rough.
+  auto variation = [](const Grid<double>& g) {
+    double acc = 0.0;
+    for (int r = 0; r < g.rows(); ++r)
+      for (int c = 1; c < g.cols(); ++c) acc += std::fabs(g(r, c) - g(r, c - 1));
+    return acc;
+  };
+  EXPECT_GT(variation(rough), variation(smooth));
+}
+
+TEST(DemTest, RejectsBadConfig) {
+  Rng rng(1);
+  DemConfig bad;
+  bad.size = 1;
+  EXPECT_THROW(diamond_square_dem(bad, rng), InvalidArgument);
+  bad = {};
+  bad.roughness = 1.5;
+  EXPECT_THROW(diamond_square_dem(bad, rng), InvalidArgument);
+  bad = {};
+  bad.relief_ft = 0.0;
+  EXPECT_THROW(diamond_square_dem(bad, rng), InvalidArgument);
+}
+
+TEST(SlopeTest, FlatDemHasZeroSlope) {
+  const Grid<double> dem(10, 10, 100.0);
+  const Grid<double> slope = slope_from_dem(dem, 30.0);
+  for (double v : slope) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(SlopeTest, KnownRampSlope) {
+  // Elevation rises 30 ft per 30-ft cell eastward: 45-degree slope.
+  Grid<double> dem(10, 10, 0.0);
+  for (int r = 0; r < 10; ++r)
+    for (int c = 0; c < 10; ++c) dem(r, c) = 30.0 * c;
+  const Grid<double> slope = slope_from_dem(dem, 30.0);
+  EXPECT_NEAR(slope(5, 5), 45.0, 0.5);
+}
+
+TEST(SlopeTest, SlopesAreNonNegativeAndBounded) {
+  Rng rng(3);
+  DemConfig cfg;
+  cfg.size = 33;
+  const auto dem = diamond_square_dem(cfg, rng);
+  const auto slope = slope_from_dem(dem, 100.0);
+  for (double v : slope) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 90.0);
+  }
+}
+
+TEST(AspectTest, EastFacingRamp) {
+  // Elevation rises westward => downslope faces east (90 degrees).
+  Grid<double> dem(10, 10, 0.0);
+  for (int r = 0; r < 10; ++r)
+    for (int c = 0; c < 10; ++c) dem(r, c) = 50.0 * (9 - c);
+  const Grid<double> aspect = aspect_from_dem(dem, 30.0);
+  EXPECT_NEAR(aspect(5, 5), 90.0, 1.0);
+}
+
+TEST(AspectTest, SouthFacingRamp) {
+  // Elevation rises northward (toward row 0) => downslope faces south (180).
+  Grid<double> dem(10, 10, 0.0);
+  for (int r = 0; r < 10; ++r)
+    for (int c = 0; c < 10; ++c) dem(r, c) = 40.0 * (9 - r);
+  const Grid<double> aspect = aspect_from_dem(dem, 30.0);
+  EXPECT_NEAR(aspect(5, 5), 180.0, 1.0);
+}
+
+TEST(AspectTest, FlatCellsReportZero) {
+  const Grid<double> dem(6, 6, 10.0);
+  const Grid<double> aspect = aspect_from_dem(dem, 30.0);
+  for (double v : aspect) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(AspectTest, ValuesAreCompassBearings) {
+  Rng rng(4);
+  DemConfig cfg;
+  cfg.size = 33;
+  const auto dem = diamond_square_dem(cfg, rng);
+  const auto aspect = aspect_from_dem(dem, 100.0);
+  for (double v : aspect) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 360.0);
+  }
+}
+
+}  // namespace
+}  // namespace essns::synth

@@ -1,0 +1,172 @@
+#include "synth/weather.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "synth/workloads.hpp"
+
+namespace essns::synth {
+namespace {
+
+TEST(DiurnalWeatherTest, TemperaturePeaksMidAfternoon) {
+  DiurnalWeatherConfig cfg;
+  cfg.gust_sigma_mph = 0.0;
+  cfg.dir_sigma_deg = 0.0;
+  Rng rng(1);
+  const auto dawn = diurnal_weather(cfg, 3.0, rng);
+  const auto noonish = diurnal_weather(cfg, 15.0, rng);
+  const auto evening = diurnal_weather(cfg, 21.0, rng);
+  EXPECT_NEAR(dawn.temperature_f, cfg.temp_min_f, 1e-9);
+  EXPECT_NEAR(noonish.temperature_f, cfg.temp_max_f, 1e-9);
+  EXPECT_GT(evening.temperature_f, dawn.temperature_f);
+  EXPECT_LT(evening.temperature_f, noonish.temperature_f);
+}
+
+TEST(DiurnalWeatherTest, HumidityRunsOppositeToTemperature) {
+  DiurnalWeatherConfig cfg;
+  cfg.gust_sigma_mph = 0.0;
+  Rng rng(2);
+  const auto dawn = diurnal_weather(cfg, 3.0, rng);
+  const auto afternoon = diurnal_weather(cfg, 15.0, rng);
+  EXPECT_GT(dawn.humidity_pct, afternoon.humidity_pct);
+  EXPECT_NEAR(afternoon.humidity_pct, cfg.rh_min_pct, 1e-9);
+}
+
+TEST(DiurnalWeatherTest, WindNeverNegative) {
+  DiurnalWeatherConfig cfg;
+  cfg.wind_base_mph = 0.5;
+  cfg.gust_sigma_mph = 5.0;  // heavy gust noise
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto w = diurnal_weather(cfg, (i % 24) + 0.5, rng);
+    EXPECT_GE(w.wind_speed_mph, 0.0);
+    EXPECT_GE(w.wind_dir_deg, 0.0);
+    EXPECT_LT(w.wind_dir_deg, 360.0);
+  }
+}
+
+TEST(DiurnalWeatherTest, RejectsBadInput) {
+  DiurnalWeatherConfig cfg;
+  Rng rng(1);
+  EXPECT_THROW(diurnal_weather(cfg, 24.0, rng), InvalidArgument);
+  EXPECT_THROW(diurnal_weather(cfg, -1.0, rng), InvalidArgument);
+  DiurnalWeatherConfig inverted;
+  inverted.temp_max_f = 40.0;
+  inverted.temp_min_f = 80.0;
+  EXPECT_THROW(diurnal_weather(inverted, 12.0, rng), InvalidArgument);
+}
+
+TEST(FineDeadFuelMoistureTest, DryHotAirGivesLowMoisture) {
+  const double dry = fine_dead_fuel_moisture(95.0, 10.0);
+  const double humid = fine_dead_fuel_moisture(60.0, 90.0);
+  EXPECT_LT(dry, 6.0);
+  EXPECT_GT(humid, 15.0);
+}
+
+TEST(FineDeadFuelMoistureTest, MonotoneInHumidity) {
+  double previous = 0.0;
+  for (double rh = 5.0; rh <= 95.0; rh += 10.0) {
+    const double emc = fine_dead_fuel_moisture(75.0, rh);
+    EXPECT_GE(emc, previous - 0.6)  // piecewise joins allow small dips
+        << "rh " << rh;
+    previous = emc;
+  }
+}
+
+TEST(FineDeadFuelMoistureTest, NeverBelowOnePercent) {
+  EXPECT_GE(fine_dead_fuel_moisture(120.0, 0.0), 1.0);
+  EXPECT_THROW(fine_dead_fuel_moisture(70.0, 150.0), InvalidArgument);
+}
+
+TEST(TimelagTest, OneHourFuelTracksFasterThanHundredHour) {
+  // Starting at 20%, equilibrium 5%: after one hour the 1-h class moved
+  // ~63% of the way, the 100-h class ~1%.
+  const double m1 = timelag_response(20.0, 5.0, 1.0, 1.0);
+  const double m100 = timelag_response(20.0, 5.0, 1.0, 100.0);
+  EXPECT_NEAR(m1, 20.0 - 15.0 * (1.0 - std::exp(-1.0)), 1e-9);
+  EXPECT_GT(m100, 19.0);
+  EXPECT_LT(m1, m100);
+}
+
+TEST(TimelagTest, ConvergesToEquilibrium) {
+  double m = 30.0;
+  for (int i = 0; i < 100; ++i) m = timelag_response(m, 8.0, 1.0, 10.0);
+  EXPECT_NEAR(m, 8.0, 0.01);
+}
+
+TEST(TimelagTest, ZeroDtIsIdentity) {
+  EXPECT_DOUBLE_EQ(timelag_response(12.0, 5.0, 0.0, 1.0), 12.0);
+  EXPECT_THROW(timelag_response(12.0, 5.0, 1.0, 0.0), InvalidArgument);
+}
+
+TEST(DiurnalScenariosTest, ProducesValidScenarioPerStep) {
+  DiurnalWeatherConfig cfg;
+  firelib::Scenario base;
+  base.model = 1;
+  base.m1 = base.m10 = base.m100 = 8.0;
+  base.mherb = 60.0;
+  Rng rng(5);
+  const auto seq = diurnal_scenarios(cfg, base, 10.0, 60.0, 6, rng);
+  ASSERT_EQ(seq.size(), 6u);
+  const auto& space = firelib::ScenarioSpace::table1();
+  for (const auto& s : seq) {
+    EXPECT_TRUE(space.is_valid(s));
+    EXPECT_EQ(s.model, base.model);  // fuel model fixed
+  }
+}
+
+TEST(DiurnalScenariosTest, AfternoonDryingLowersM1) {
+  DiurnalWeatherConfig cfg;
+  cfg.gust_sigma_mph = 0.0;
+  firelib::Scenario base;
+  base.model = 1;
+  base.m1 = base.m10 = base.m100 = 25.0;  // wet morning start
+  base.mherb = 60.0;
+  Rng rng(6);
+  // Six hours from 09:00: deep into the afternoon minimum.
+  const auto seq = diurnal_scenarios(cfg, base, 9.0, 60.0, 6, rng);
+  EXPECT_LT(seq.back().m1, seq.front().m1);
+  // 1-h responds faster than 100-h.
+  EXPECT_LT(seq.back().m1, seq.back().m100);
+}
+
+TEST(DiurnalWorkloadTest, GeneratesAndBurns) {
+  const Workload workload = make_diurnal(32);
+  ASSERT_EQ(workload.scenario_sequence.size(), 5u);
+  Rng rng(7);
+  const GroundTruth truth = generate_truth(workload, rng);
+  EXPECT_EQ(truth.steps(), 5);
+  EXPECT_GT(firelib::burned_count(truth.fire_lines.back(),
+                                  truth.time_of(truth.steps())),
+            10u);
+  // The recorded hidden scenarios match the sequence.
+  for (int i = 1; i <= truth.steps(); ++i)
+    EXPECT_EQ(truth.scenario_at[static_cast<size_t>(i)],
+              workload.scenario_sequence[static_cast<size_t>(i) - 1]);
+}
+
+TEST(GenerateTruthTest, DispatchesOnSequencePresence) {
+  const Workload plains = make_plains(24);
+  EXPECT_TRUE(plains.scenario_sequence.empty());
+  Rng rng(8);
+  const GroundTruth truth = generate_truth(plains, rng);
+  EXPECT_EQ(truth.steps(), plains.truth_config.steps);
+}
+
+TEST(PerStepGroundTruthTest, ValidatesSequence) {
+  firelib::FireEnvironment env(24, 24, 100.0);
+  GroundTruthConfig cfg;
+  cfg.steps = 3;
+  cfg.ignition = {12, 12};
+  Rng rng(9);
+  std::vector<firelib::Scenario> too_few(2);
+  EXPECT_THROW(generate_ground_truth(env, cfg, too_few, rng),
+               InvalidArgument);
+  std::vector<firelib::Scenario> invalid(3);
+  invalid[1].wind_speed = 500.0;
+  EXPECT_THROW(generate_ground_truth(env, cfg, invalid, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace essns::synth

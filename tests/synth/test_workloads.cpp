@@ -1,0 +1,74 @@
+#include "synth/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/ground_truth.hpp"
+
+namespace essns::synth {
+namespace {
+
+TEST(WorkloadsTest, StandardSuiteHasThreeCases) {
+  const auto suite = standard_workloads(32);
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].name, "plains");
+  EXPECT_EQ(suite[1].name, "hills");
+  EXPECT_EQ(suite[2].name, "wind_shift");
+}
+
+TEST(WorkloadsTest, AllConfigsAreValidAndGeneratable) {
+  for (const auto& workload : standard_workloads(32)) {
+    SCOPED_TRACE(workload.name);
+    EXPECT_TRUE(firelib::ScenarioSpace::table1().is_valid(
+        workload.truth_config.hidden));
+    Rng rng(1);
+    const GroundTruth truth =
+        generate_ground_truth(workload.environment, workload.truth_config, rng);
+    EXPECT_EQ(truth.steps(), workload.truth_config.steps);
+    // The fire must actually spread beyond the outbreak in every case.
+    EXPECT_GT(firelib::burned_count(truth.fire_lines.back(),
+                                    truth.time_of(truth.steps())),
+              10u);
+  }
+}
+
+TEST(WorkloadsTest, PlainsIsHomogeneous) {
+  const auto plains = make_plains(32);
+  EXPECT_FALSE(plains.environment.has_fuel_map());
+  EXPECT_FALSE(plains.environment.has_topography());
+  EXPECT_DOUBLE_EQ(plains.truth_config.drift_sigma, 0.0);
+}
+
+TEST(WorkloadsTest, HillsHasTerrainLayers) {
+  const auto hills = make_hills(32);
+  EXPECT_TRUE(hills.environment.has_fuel_map());
+  EXPECT_TRUE(hills.environment.has_topography());
+}
+
+TEST(WorkloadsTest, HillsFuelMosaicUsesMultipleModels) {
+  const auto hills = make_hills(48);
+  std::array<int, 14> counts{};
+  const auto& env = hills.environment;
+  firelib::Scenario s = hills.truth_config.hidden;
+  for (int r = 0; r < env.rows(); ++r)
+    for (int c = 0; c < env.cols(); ++c)
+      counts[static_cast<size_t>(env.fuel_model_at(r, c, s))]++;
+  int distinct = 0;
+  for (int n = 1; n <= 13; ++n)
+    if (counts[static_cast<size_t>(n)] > 0) ++distinct;
+  EXPECT_GE(distinct, 2);
+}
+
+TEST(WorkloadsTest, WindShiftDrifts) {
+  const auto shift = make_wind_shift(32);
+  EXPECT_GT(shift.truth_config.drift_sigma, 0.0);
+}
+
+TEST(WorkloadsTest, SizeParameterControlsGrid) {
+  const auto small = make_plains(24);
+  EXPECT_EQ(small.environment.rows(), 24);
+  const auto large = make_plains(64);
+  EXPECT_EQ(large.environment.rows(), 64);
+}
+
+}  // namespace
+}  // namespace essns::synth
