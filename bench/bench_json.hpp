@@ -1,0 +1,35 @@
+// Shared main() body for the Google Benchmark targets: in addition to the
+// console report, write machine-readable JSON (BENCH_<name>.json) by default
+// so the perf trajectory can be tracked across PRs. An explicit
+// --benchmark_out on the command line wins over the default.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace essns::benchmain {
+
+inline int run_all(int argc, char** argv, const char* default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  std::string out_flag, format_flag;
+  if (!has_out) {
+    out_flag = std::string("--benchmark_out=") + default_out;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace essns::benchmain

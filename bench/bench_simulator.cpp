@@ -4,6 +4,7 @@
 // propagation), so these numbers anchor the response-time experiments.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "common/units.hpp"
 #include "firelib/environment.hpp"
 #include "firelib/propagator.hpp"
@@ -101,6 +102,25 @@ void BM_PropagateHeterogeneous(benchmark::State& state) {
 }
 BENCHMARK(BM_PropagateHeterogeneous)->Arg(32)->Arg(64);
 
+void BM_PropagateUniformWorkspace(benchmark::State& state) {
+  // Same sweep as BM_PropagateUniform but through a reused
+  // PropagationWorkspace: the delta is the per-call allocation cost the
+  // batched SimulationService amortizes away.
+  const int size = static_cast<int>(state.range(0));
+  const FireSpreadModel model;
+  const FirePropagator propagator(model);
+  FireEnvironment env(size, size, 100.0);
+  const Scenario scenario = bench_scenario();
+  const std::vector<CellIndex> ignition{{size / 2, size / 2}};
+  PropagationWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        propagator.propagate(env, scenario, ignition, 120.0, workspace));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_PropagateUniformWorkspace)->Arg(32)->Arg(64)->Arg(128);
+
 void BM_BurnedMask(benchmark::State& state) {
   const int size = static_cast<int>(state.range(0));
   const FireSpreadModel model;
@@ -116,4 +136,6 @@ BENCHMARK(BM_BurnedMask)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return essns::benchmain::run_all(argc, argv, "BENCH_simulator.json");
+}

@@ -1,13 +1,22 @@
-// EXP-B3 — pipeline-stage micro-benchmarks: the Statistical Stage
-// aggregation, the Calibration Stage threshold search, and the dispatch
-// overhead of the Master/Worker and thread-pool substrates.
+// EXP-B3 — pipeline-stage benchmarks: micro-benchmarks of the Statistical
+// Stage aggregation, the Calibration Stage threshold search and the
+// dispatch overhead of the Master/Worker and thread-pool substrates, plus an
+// end-to-end per-stage speedup report of the full PredictionPipeline across
+// worker counts (written to BENCH_stages_pipeline.json).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
+#include "bench_json.hpp"
 #include "ess/calibration.hpp"
 #include "ess/fitness.hpp"
+#include "ess/pipeline.hpp"
 #include "ess/statistical.hpp"
 #include "parallel/master_worker.hpp"
 #include "parallel/thread_pool.hpp"
+#include "synth/ground_truth.hpp"
+#include "synth/workloads.hpp"
 
 namespace {
 
@@ -91,6 +100,125 @@ void BM_ThreadPoolParallelFor(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(4);
 
+// --- End-to-end per-stage speedup of the PredictionPipeline. ---
+//
+// Runs the same fixed-seed prediction across worker counts; since the
+// batched SimulationService is bit-deterministic, every run produces
+// identical predictions and the wall-clock ratios are pure parallel
+// speedup. Stage totals come from the StepReport per-stage timings.
+
+struct PipelineTiming {
+  unsigned workers = 1;
+  double os_seconds = 0.0;
+  double ss_seconds = 0.0;
+  double cs_seconds = 0.0;
+  double ps_seconds = 0.0;
+  double total_seconds = 0.0;
+  double mean_quality = 0.0;
+};
+
+PipelineTiming run_pipeline_once(unsigned workers) {
+  auto workload = essns::synth::make_plains(64);
+  essns::Rng truth_rng(42);
+  const auto truth = essns::synth::generate_ground_truth(
+      workload.environment, workload.truth_config, truth_rng);
+
+  essns::ess::PipelineConfig config;
+  config.stop = {10, 1.1};  // fixed generation budget, no early exit
+  config.workers = workers;
+  essns::core::NsGaConfig ns;
+  ns.population_size = 16;
+  ns.offspring_count = 16;
+  essns::ess::NsGaOptimizer optimizer(ns);
+  essns::Rng rng(7);
+
+  essns::ess::PredictionPipeline pipeline(workload.environment, truth, config);
+  const auto result = pipeline.run(optimizer, rng);
+
+  PipelineTiming timing;
+  timing.workers = workers;
+  for (const auto& step : result.steps) {
+    timing.os_seconds += step.os_seconds;
+    timing.ss_seconds += step.ss_seconds;
+    timing.cs_seconds += step.cs_seconds;
+    timing.ps_seconds += step.ps_seconds;
+    timing.total_seconds += step.elapsed_seconds;
+  }
+  timing.mean_quality = result.mean_quality();
+  return timing;
+}
+
+void report_pipeline_stage_speedup(const char* json_path) {
+  const unsigned worker_counts[] = {1, 2, 4};
+  std::vector<PipelineTiming> timings;
+  for (unsigned workers : worker_counts)
+    timings.push_back(run_pipeline_once(workers));
+  const PipelineTiming& serial = timings.front();
+
+  std::printf("\npipeline per-stage seconds (plains/64, 10 gens/step)\n");
+  std::printf("%8s %10s %10s %10s %10s %10s %8s\n", "workers", "OS", "SS",
+              "CS", "PS", "total", "speedup");
+  for (const auto& t : timings) {
+    std::printf("%8u %10.3f %10.3f %10.3f %10.3f %10.3f %7.2fx\n", t.workers,
+                t.os_seconds, t.ss_seconds, t.cs_seconds, t.ps_seconds,
+                t.total_seconds, serial.total_seconds / t.total_seconds);
+  }
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"pipeline_stage_speedup\",\n");
+  std::fprintf(out, "  \"workload\": \"plains\",\n  \"grid\": 64,\n");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const auto& t = timings[i];
+    std::fprintf(
+        out,
+        "    {\"workers\": %u, \"os_seconds\": %.6f, \"ss_seconds\": %.6f, "
+        "\"cs_seconds\": %.6f, \"ps_seconds\": %.6f, \"total_seconds\": %.6f, "
+        "\"speedup\": %.4f, \"mean_quality\": %.17g}%s\n",
+        t.workers, t.os_seconds, t.ss_seconds, t.cs_seconds, t.ps_seconds,
+        t.total_seconds, serial.total_seconds / t.total_seconds,
+        t.mean_quality, i + 1 < timings.size() ? "," : "");
+  }
+  // mean_quality must agree across worker counts (bit-determinism check).
+  bool identical = true;
+  for (const auto& t : timings)
+    if (t.mean_quality != serial.mean_quality) identical = false;
+  std::fprintf(out, "  ],\n  \"deterministic_across_workers\": %s\n}\n",
+               identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s (deterministic_across_workers=%s)\n", json_path,
+              identical ? "true" : "false");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --pipeline_report=off skips the end-to-end sweep (it costs several
+  // pipeline runs); listing mode skips it automatically.
+  bool pipeline_report = true;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pipeline_report=off") == 0) {
+      pipeline_report = false;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--pipeline_report=on") == 0) continue;
+    if (std::strncmp(argv[i], "--benchmark_list_tests", 22) == 0) {
+      const char* value = argv[i] + 22;
+      if (std::strcmp(value, "=false") != 0 && std::strcmp(value, "=0") != 0)
+        pipeline_report = false;
+    }
+    args.push_back(argv[i]);
+  }
+  int count = static_cast<int>(args.size());
+  const int rc =
+      essns::benchmain::run_all(count, args.data(), "BENCH_stages.json");
+  if (rc != 0) return rc;
+  if (pipeline_report)
+    report_pipeline_stage_speedup("BENCH_stages_pipeline.json");
+  return 0;
+}

@@ -14,6 +14,7 @@
 
 #include "common/table.hpp"
 #include "ess/behavior.hpp"
+#include "ess/fitness.hpp"
 #include "ess/pipeline.hpp"
 #include "ess/statistical.hpp"
 #include "synth/workloads.hpp"

@@ -1,24 +1,13 @@
 #include "ess/evaluator.hpp"
 
 #include "common/error.hpp"
+#include "ess/fitness.hpp"
 
 namespace essns::ess {
 
 ScenarioEvaluator::ScenarioEvaluator(const firelib::FireEnvironment& env,
                                      unsigned workers)
-    : env_(&env), propagator_(spread_model_) {
-  ESSNS_REQUIRE(workers >= 1, "need at least one worker");
-  if (workers > 1) {
-    pool_ = std::make_unique<parallel::MasterWorker<ea::Genome, double>>(
-        workers, [this](unsigned, const ea::Genome& genome) {
-          const auto scenario =
-              firelib::ScenarioSpace::table1().decode(genome);
-          return evaluate_scenario(scenario);
-        });
-  }
-}
-
-ScenarioEvaluator::~ScenarioEvaluator() = default;
+    : service_(env, workers) {}
 
 void ScenarioEvaluator::set_step(const StepContext& context) {
   ESSNS_REQUIRE(context.start_map && context.target_map,
@@ -28,12 +17,8 @@ void ScenarioEvaluator::set_step(const StepContext& context) {
   context_ = context;
 }
 
-unsigned ScenarioEvaluator::workers() const {
-  return pool_ ? pool_->worker_count() : 1;
-}
-
 double ScenarioEvaluator::evaluate_scenario(
-    const firelib::Scenario& scenario) const {
+    const firelib::Scenario& scenario) {
   ESSNS_REQUIRE(context_.start_map, "set_step must be called before evaluate");
   const firelib::IgnitionMap simulated =
       simulate(scenario, *context_.start_map, context_.end_time);
@@ -43,20 +28,27 @@ double ScenarioEvaluator::evaluate_scenario(
 
 firelib::IgnitionMap ScenarioEvaluator::simulate(
     const firelib::Scenario& scenario, const firelib::IgnitionMap& start,
-    double end_time) const {
-  simulations_.fetch_add(1, std::memory_order_relaxed);
-  return propagator_.propagate(*env_, scenario, start, end_time);
+    double end_time) {
+  return service_.simulate(scenario, start, end_time);
+}
+
+std::vector<firelib::IgnitionMap> ScenarioEvaluator::simulate_batch(
+    const std::vector<firelib::Scenario>& scenarios,
+    const firelib::IgnitionMap& start, double end_time) {
+  return service_.simulate_batch(scenarios, start, end_time);
 }
 
 std::vector<double> ScenarioEvaluator::evaluate_batch(
     const std::vector<ea::Genome>& genomes) {
-  if (pool_) return pool_->evaluate(genomes);
-  std::vector<double> fitness;
-  fitness.reserve(genomes.size());
+  ESSNS_REQUIRE(context_.start_map, "set_step must be called before evaluate");
   const auto& space = firelib::ScenarioSpace::table1();
+  std::vector<firelib::Scenario> scenarios;
+  scenarios.reserve(genomes.size());
   for (const ea::Genome& genome : genomes)
-    fitness.push_back(evaluate_scenario(space.decode(genome)));
-  return fitness;
+    scenarios.push_back(space.decode(genome));
+  return service_.fitness_batch(scenarios, *context_.start_map,
+                                *context_.target_map, context_.start_time,
+                                context_.end_time);
 }
 
 ea::BatchEvaluator ScenarioEvaluator::batch_evaluator() {

@@ -2,20 +2,19 @@
 // normalized genomes and fitness values) and the fire simulator (which sees
 // scenarios and ignition maps).
 //
-// This is the component the paper parallelizes: "parallelism will only be
+// The paper parallelizes only this component: "parallelism will only be
 // implemented in the evaluation of the scenarios, i.e., in the simulation
 // process and subsequent computation of the fitness function" (§III-B).
-// With workers > 1 the batch is scattered over a MasterWorker (the Fig. 1/3
-// OS-Master -> OS-Worker message flow); with workers == 1 it runs inline.
+// This implementation supersedes that scoping: all simulation — OS fitness
+// batches and the SS/PS map batches alike — goes through one pool-backed
+// SimulationService, so the Statistical and Prediction stages share the
+// OS-Worker pool (the Fig. 1/3 OS-Master -> OS-Worker message flow) instead
+// of re-simulating serially. With workers == 1 everything runs inline, and
+// results are bit-identical across worker counts.
 #pragma once
 
-#include <memory>
-
 #include "ea/individual.hpp"
-#include "ess/fitness.hpp"
-#include "firelib/environment.hpp"
-#include "firelib/propagator.hpp"
-#include "parallel/master_worker.hpp"
+#include "ess/simulation_service.hpp"
 
 namespace essns::ess {
 
@@ -32,7 +31,6 @@ class ScenarioEvaluator {
  public:
   /// workers == 1: serial evaluation. workers > 1: persistent Master/Worker.
   ScenarioEvaluator(const firelib::FireEnvironment& env, unsigned workers = 1);
-  ~ScenarioEvaluator();
 
   ScenarioEvaluator(const ScenarioEvaluator&) = delete;
   ScenarioEvaluator& operator=(const ScenarioEvaluator&) = delete;
@@ -43,28 +41,31 @@ class ScenarioEvaluator {
   /// BatchEvaluator view bound to this evaluator (valid while alive).
   ea::BatchEvaluator batch_evaluator();
 
-  /// Fitness of one scenario on the current step.
-  double evaluate_scenario(const firelib::Scenario& scenario) const;
+  /// Fitness of one scenario on the current step (calling thread).
+  double evaluate_scenario(const firelib::Scenario& scenario);
 
   /// Simulated ignition map of `scenario` from `start` (state at
   /// `start_time`) to `end_time` — used by the SS/PS stages to rebuild the
   /// maps of the selected solution set.
   firelib::IgnitionMap simulate(const firelib::Scenario& scenario,
                                 const firelib::IgnitionMap& start,
-                                double end_time) const;
+                                double end_time);
 
-  unsigned workers() const;
-  std::size_t simulations_run() const { return simulations_.load(); }
+  /// Batched counterpart of simulate(): one map per scenario, scattered
+  /// over the shared worker pool, gathered in scenario order. Bit-identical
+  /// to N simulate() calls at any worker count.
+  std::vector<firelib::IgnitionMap> simulate_batch(
+      const std::vector<firelib::Scenario>& scenarios,
+      const firelib::IgnitionMap& start, double end_time);
+
+  unsigned workers() const { return service_.workers(); }
+  std::size_t simulations_run() const { return service_.simulations_run(); }
 
  private:
   std::vector<double> evaluate_batch(const std::vector<ea::Genome>& genomes);
 
-  const firelib::FireEnvironment* env_;
-  firelib::FireSpreadModel spread_model_;
-  firelib::FirePropagator propagator_;
+  SimulationService service_;
   StepContext context_;
-  mutable std::atomic<std::size_t> simulations_{0};
-  std::unique_ptr<parallel::MasterWorker<ea::Genome, double>> pool_;
 };
 
 }  // namespace essns::ess

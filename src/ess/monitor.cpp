@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "ess/fitness.hpp"
 #include "ess/statistical.hpp"
 
 namespace essns::ess {
@@ -69,12 +70,11 @@ EssimResult EssimSystem::run(Rng& rng) {
           master.optimize(firelib::kParamCount, batch, config_.stop, stream);
 
       IslandState state;
-      std::vector<firelib::IgnitionMap> maps;
-      for (const auto& ind : outcome.solutions) {
+      state.scenarios.reserve(outcome.solutions.size());
+      for (const auto& ind : outcome.solutions)
         state.scenarios.push_back(space.decode(ind.genome));
-        maps.push_back(
-            evaluator.simulate(state.scenarios.back(), lines[un - 1], t_now));
-      }
+      const std::vector<firelib::IgnitionMap> maps =
+          evaluator.simulate_batch(state.scenarios, lines[un - 1], t_now);
       const Grid<double> probability = aggregate_probability(maps, t_now);
       state.kign = search_kign(probability, real_now, preburned_now,
                                config_.kign_candidates);
@@ -92,10 +92,10 @@ EssimResult EssimSystem::run(Rng& rng) {
     report.selected_island = best;
     report.kign = islands[static_cast<std::size_t>(best)].kign.kign;
 
-    // --- Monitor produces the current step prediction (PS). ---
-    std::vector<firelib::IgnitionMap> forward;
-    for (const auto& scenario : islands[static_cast<std::size_t>(best)].scenarios)
-      forward.push_back(evaluator.simulate(scenario, lines[un], t_next));
+    // --- Monitor produces the current step prediction (PS), batched over
+    // the same worker pool as the OS (see evaluator.hpp). ---
+    const std::vector<firelib::IgnitionMap> forward = evaluator.simulate_batch(
+        islands[static_cast<std::size_t>(best)].scenarios, lines[un], t_next);
     const Grid<double> probability_next =
         aggregate_probability(forward, t_next);
     const auto predicted = apply_kign(probability_next, report.kign);

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "ess/fitness.hpp"
 #include "ess/statistical.hpp"
 
 namespace essns::ess {
@@ -55,6 +56,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
     const double t_next = truth_->time_of(n + 1);
 
     // --- Optimization Stage. ---
+    Stopwatch stage_watch;
     StepContext context{&lines[un - 1], &lines[un], t_prev, t_now};
     evaluator.set_step(context);
     auto batch = evaluator.batch_evaluator();
@@ -62,6 +64,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
         optimizer.optimize(firelib::kParamCount, batch, config_.stop, rng);
     ESSNS_REQUIRE(!outcome.solutions.empty(),
                   "optimizer returned an empty solution set");
+    const double os_seconds = stage_watch.elapsed_seconds();
 
     // Cap the solution set (highest fitness first) so SS cost is bounded.
     std::sort(outcome.solutions.begin(), outcome.solutions.end(),
@@ -69,35 +72,38 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
     if (outcome.solutions.size() > config_.max_solution_maps)
       outcome.solutions.resize(config_.max_solution_maps);
 
-    // --- Statistical Stage (calibration side): maps over [t_{n-1}, t_n]. ---
-    std::vector<firelib::IgnitionMap> calibration_maps;
-    calibration_maps.reserve(outcome.solutions.size());
+    // --- Statistical Stage (calibration side): maps over [t_{n-1}, t_n],
+    // batched over the shared worker pool. ---
+    stage_watch.reset();
     std::vector<firelib::Scenario> scenarios;
     scenarios.reserve(outcome.solutions.size());
-    for (const auto& ind : outcome.solutions) {
+    for (const auto& ind : outcome.solutions)
       scenarios.push_back(space.decode(ind.genome));
-      calibration_maps.push_back(
-          evaluator.simulate(scenarios.back(), lines[un - 1], t_now));
-    }
+    const std::vector<firelib::IgnitionMap> calibration_maps =
+        evaluator.simulate_batch(scenarios, lines[un - 1], t_now);
     const Grid<double> probability_now =
         aggregate_probability(calibration_maps, t_now);
+    const double ss_seconds = stage_watch.elapsed_seconds();
 
     // --- Calibration Stage: S_Kign against RFL_n. ---
+    stage_watch.reset();
     const auto real_now = firelib::burned_mask(lines[un], t_now);
     const auto preburned_now = firelib::burned_mask(lines[un - 1], t_prev);
     const KignSearchResult kign =
         search_kign(probability_now, real_now, preburned_now,
                     config_.kign_candidates);
+    const double cs_seconds = stage_watch.elapsed_seconds();
 
-    // --- Prediction Stage for t_{n+1} using Kign_n. ---
-    std::vector<firelib::IgnitionMap> prediction_maps;
-    prediction_maps.reserve(scenarios.size());
-    for (const auto& scenario : scenarios)
-      prediction_maps.push_back(
-          evaluator.simulate(scenario, lines[un], t_next));
+    // --- Prediction Stage for t_{n+1} using Kign_n (same batch path). ---
+    stage_watch.reset();
+    const std::vector<firelib::IgnitionMap> prediction_maps =
+        evaluator.simulate_batch(scenarios, lines[un], t_next);
     last_probability_ = aggregate_probability(prediction_maps, t_next);
     last_prediction_ = apply_kign(last_probability_, kign.kign);
+    const double ps_seconds = stage_watch.elapsed_seconds();
 
+    // Scoring PFL_{n+1} against RFL_{n+1} is evaluation of the prediction,
+    // not part of the PS itself — keep it out of ps_seconds.
     const auto real_next = firelib::burned_mask(lines[un + 1], t_next);
     const auto preburned_next = firelib::burned_mask(lines[un], t_now);
     const double quality =
@@ -113,6 +119,10 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
     report.os_generations = outcome.generations;
     report.elapsed_seconds = watch.elapsed_seconds();
     report.solution_count = scenarios.size();
+    report.os_seconds = os_seconds;
+    report.ss_seconds = ss_seconds;
+    report.cs_seconds = cs_seconds;
+    report.ps_seconds = ps_seconds;
     result.steps.push_back(report);
   }
   return result;

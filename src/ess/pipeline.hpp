@@ -5,6 +5,11 @@
 //        Eq. (3) between its simulated map at t_n and RFL_n;
 //   SS : re-simulate the optimizer's solution set over the same interval and
 //        aggregate into the probability-of-ignition matrix;
+//        NOTE: unlike the paper — which scopes parallelism to the OS alone
+//        ("parallelism will only be implemented in the evaluation of the
+//        scenarios", §III-B) — the SS and PS re-simulations here go through
+//        ScenarioEvaluator::simulate_batch and share the OS Master/Worker
+//        pool, so every stage that simulates scales with config.workers;
 //   CS : S_Kign — search the threshold that best reproduces RFL_n (this is
 //        where Kign_n is born; Fig. 2 left box);
 //   PS : simulate the solution set forward from RFL_n to t_{n+1}, aggregate,
@@ -43,6 +48,13 @@ struct StepReport {
   int os_generations = 0;
   double elapsed_seconds = 0.0;
   std::size_t solution_count = 0;  ///< maps aggregated in the SS
+
+  // Per-stage wall-clock breakdown of elapsed_seconds (bench_stages uses
+  // these to report per-stage speedup across worker counts).
+  double os_seconds = 0.0;  ///< Optimization Stage (search + fitness batches)
+  double ss_seconds = 0.0;  ///< Statistical Stage (batch re-simulation + aggregation)
+  double cs_seconds = 0.0;  ///< Calibration Stage (S_Kign threshold search)
+  double ps_seconds = 0.0;  ///< Prediction Stage (forward batch + threshold)
 };
 
 struct PipelineResult {

@@ -1,0 +1,104 @@
+#include "ess/simulation_service.hpp"
+
+#include "common/error.hpp"
+#include "ess/fitness.hpp"
+
+namespace essns::ess {
+
+SimulationService::SimulationService(const firelib::FireEnvironment& env,
+                                     unsigned workers)
+    : env_(&env), propagator_(spread_model_) {
+  ESSNS_REQUIRE(workers >= 1, "need at least one worker");
+  workspaces_.resize(workers > 1 ? workers + 1 : 1);
+  if (workers > 1) {
+    pool_ = std::make_unique<
+        parallel::MasterWorker<const SimulationRequest*, SimulationResult>>(
+        workers, [this](unsigned id, const SimulationRequest* const& req) {
+          return run_one(id + 1, *req);
+        });
+  }
+}
+
+SimulationService::~SimulationService() = default;
+
+unsigned SimulationService::workers() const {
+  return pool_ ? pool_->worker_count() : 1;
+}
+
+firelib::IgnitionMap SimulationService::simulate(
+    const firelib::Scenario& scenario, const firelib::IgnitionMap& start,
+    double end_time) {
+  simulations_.fetch_add(1, std::memory_order_relaxed);
+  return propagator_.propagate(*env_, scenario, start, end_time,
+                               workspaces_[0]);
+}
+
+SimulationResult SimulationService::run_one(unsigned worker_id,
+                                            const SimulationRequest& req) {
+  ESSNS_REQUIRE(req.scenario && req.start, "request scenario/start must be set");
+  simulations_.fetch_add(1, std::memory_order_relaxed);
+  firelib::PropagationWorkspace& workspace = workspaces_[worker_id];
+  const firelib::IgnitionMap& simulated = propagator_.propagate(
+      *env_, *req.scenario, *req.start, req.end_time, workspace);
+  SimulationResult result;
+  if (req.target) {
+    result.fitness =
+        jaccard_at(*req.target, simulated, req.end_time, req.start_time);
+  }
+  if (req.keep_map) result.map = simulated;
+  return result;
+}
+
+std::vector<SimulationResult> SimulationService::run_batch(
+    const std::vector<SimulationRequest>& requests) {
+  if (pool_) {
+    std::vector<const SimulationRequest*> tasks;
+    tasks.reserve(requests.size());
+    for (const SimulationRequest& req : requests) tasks.push_back(&req);
+    return pool_->evaluate(tasks);
+  }
+  std::vector<SimulationResult> results;
+  results.reserve(requests.size());
+  for (const SimulationRequest& req : requests)
+    results.push_back(run_one(0, req));
+  return results;
+}
+
+std::vector<firelib::IgnitionMap> SimulationService::simulate_batch(
+    const std::vector<firelib::Scenario>& scenarios,
+    const firelib::IgnitionMap& start, double end_time) {
+  std::vector<SimulationRequest> requests(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    requests[i].scenario = &scenarios[i];
+    requests[i].start = &start;
+    requests[i].end_time = end_time;
+  }
+  std::vector<SimulationResult> results = run_batch(requests);
+  std::vector<firelib::IgnitionMap> maps;
+  maps.reserve(results.size());
+  for (SimulationResult& result : results) maps.push_back(std::move(result.map));
+  return maps;
+}
+
+std::vector<double> SimulationService::fitness_batch(
+    const std::vector<firelib::Scenario>& scenarios,
+    const firelib::IgnitionMap& start, const firelib::IgnitionMap& target,
+    double start_time, double end_time) {
+  std::vector<SimulationRequest> requests(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    requests[i].scenario = &scenarios[i];
+    requests[i].start = &start;
+    requests[i].start_time = start_time;
+    requests[i].end_time = end_time;
+    requests[i].target = &target;
+    requests[i].keep_map = false;
+  }
+  std::vector<SimulationResult> results = run_batch(requests);
+  std::vector<double> fitness;
+  fitness.reserve(results.size());
+  for (const SimulationResult& result : results)
+    fitness.push_back(result.fitness);
+  return fitness;
+}
+
+}  // namespace essns::ess

@@ -1,0 +1,99 @@
+// SimulationService: the batched, pool-backed simulation engine shared by
+// every pipeline stage.
+//
+// The paper parallelizes only the Optimization Stage ("parallelism will only
+// be implemented in the evaluation of the scenarios", §III-B) and leaves the
+// Statistical and Prediction stages serial. This service supersedes that
+// scoping: one persistent Master/Worker pool (Fig. 1/3) serves fitness
+// batches for the OS *and* map batches for the SS/PS, so every stage that
+// simulates scales with the worker count. Each worker owns a
+// firelib::PropagationWorkspace, so steady-state simulations run without
+// per-call allocations regardless of which stage issued them.
+//
+// Determinism contract: requests are scattered by index and results gathered
+// in request order, and each simulation is a deterministic function of its
+// inputs — so results are bit-identical across worker counts (workers == 1
+// runs inline on the calling thread).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "firelib/environment.hpp"
+#include "firelib/propagator.hpp"
+#include "parallel/master_worker.hpp"
+
+namespace essns::ess {
+
+/// One simulation over an interval, optionally scored against a target map.
+struct SimulationRequest {
+  const firelib::Scenario* scenario = nullptr;
+  const firelib::IgnitionMap* start = nullptr;  ///< fire state at start_time
+  double start_time = 0.0;
+  double end_time = 0.0;
+  /// When set, the result carries fitness = Eq. (3) vs this map (cells
+  /// burned in `target` by start_time are excluded as preburned).
+  const firelib::IgnitionMap* target = nullptr;
+  /// When false, the simulated map is dropped after scoring (fitness-only
+  /// requests avoid one map copy per simulation).
+  bool keep_map = true;
+};
+
+struct SimulationResult {
+  firelib::IgnitionMap map;  ///< empty when the request had keep_map = false
+  double fitness = 0.0;      ///< 0 when the request had no target
+};
+
+class SimulationService {
+ public:
+  /// workers == 1: every call runs inline on the calling thread.
+  /// workers > 1: a persistent Master/Worker pool serves all batches.
+  explicit SimulationService(const firelib::FireEnvironment& env,
+                             unsigned workers = 1);
+  ~SimulationService();
+
+  SimulationService(const SimulationService&) = delete;
+  SimulationService& operator=(const SimulationService&) = delete;
+
+  unsigned workers() const;
+  std::size_t simulations_run() const { return simulations_.load(); }
+
+  /// One simulation on the calling thread (master workspace).
+  firelib::IgnitionMap simulate(const firelib::Scenario& scenario,
+                                const firelib::IgnitionMap& start,
+                                double end_time);
+
+  /// Scatter `requests` over the pool, gather results in request order.
+  std::vector<SimulationResult> run_batch(
+      const std::vector<SimulationRequest>& requests);
+
+  /// Map batch: simulate every scenario over [*, end_time] from `start`.
+  /// Equivalent to N simulate() calls, bit for bit, at any worker count.
+  std::vector<firelib::IgnitionMap> simulate_batch(
+      const std::vector<firelib::Scenario>& scenarios,
+      const firelib::IgnitionMap& start, double end_time);
+
+  /// Fitness batch: Eq. (3) of each scenario's simulated map at end_time
+  /// against `target`, excluding cells burned in `target` by start_time.
+  std::vector<double> fitness_batch(
+      const std::vector<firelib::Scenario>& scenarios,
+      const firelib::IgnitionMap& start, const firelib::IgnitionMap& target,
+      double start_time, double end_time);
+
+ private:
+  SimulationResult run_one(unsigned worker_id, const SimulationRequest& req);
+
+  const firelib::FireEnvironment* env_;
+  firelib::FireSpreadModel spread_model_;
+  firelib::FirePropagator propagator_;
+  /// workspaces_[0] belongs to the calling thread; pool worker `id` uses
+  /// workspaces_[id + 1].
+  std::vector<firelib::PropagationWorkspace> workspaces_;
+  mutable std::atomic<std::size_t> simulations_{0};
+  std::unique_ptr<parallel::MasterWorker<const SimulationRequest*,
+                                         SimulationResult>>
+      pool_;
+};
+
+}  // namespace essns::ess

@@ -1,8 +1,8 @@
 #include "firelib/propagator.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/units.hpp"
@@ -16,14 +16,6 @@ constexpr std::array<double, 8> kNeighbourAzimuth = {
     0.0, 45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0};
 
 constexpr double kSqrt2 = 1.41421356237309504880;
-
-struct QueueEntry {
-  double time;
-  std::size_t cell;
-  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
-    return a.time > b.time;
-  }
-};
 
 }  // namespace
 
@@ -45,20 +37,53 @@ IgnitionMap FirePropagator::propagate(const FireEnvironment& env,
                                       const Scenario& scenario,
                                       const std::vector<CellIndex>& ignitions,
                                       double horizon_min) const {
-  IgnitionMap initial(env.rows(), env.cols(), kNeverIgnited);
-  for (const CellIndex& cell : ignitions) {
-    ESSNS_REQUIRE(initial.in_bounds(cell), "ignition cell out of bounds");
-    initial(cell) = 0.0;
-  }
-  return propagate(env, scenario, initial, horizon_min);
+  PropagationWorkspace workspace;
+  propagate(env, scenario, ignitions, horizon_min, workspace);
+  return std::move(workspace.times_);
 }
 
 IgnitionMap FirePropagator::propagate(const FireEnvironment& env,
                                       const Scenario& scenario,
                                       const IgnitionMap& initial,
                                       double horizon_min) const {
+  PropagationWorkspace workspace;
+  propagate(env, scenario, initial, horizon_min, workspace);
+  return std::move(workspace.times_);
+}
+
+const IgnitionMap& FirePropagator::propagate(
+    const FireEnvironment& env, const Scenario& scenario,
+    const std::vector<CellIndex>& ignitions, double horizon_min,
+    PropagationWorkspace& workspace) const {
+  if (workspace.times_.rows() != env.rows() ||
+      workspace.times_.cols() != env.cols()) {
+    workspace.times_ = IgnitionMap(env.rows(), env.cols(), kNeverIgnited);
+  } else {
+    workspace.times_.fill(kNeverIgnited);
+  }
+  for (const CellIndex& cell : ignitions) {
+    ESSNS_REQUIRE(workspace.times_.in_bounds(cell),
+                  "ignition cell out of bounds");
+    workspace.times_(cell) = 0.0;
+  }
+  run_sweep(env, scenario, horizon_min, workspace);
+  return workspace.times_;
+}
+
+const IgnitionMap& FirePropagator::propagate(
+    const FireEnvironment& env, const Scenario& scenario,
+    const IgnitionMap& initial, double horizon_min,
+    PropagationWorkspace& workspace) const {
   ESSNS_REQUIRE(initial.rows() == env.rows() && initial.cols() == env.cols(),
                 "initial map dimensions must match environment");
+  workspace.times_ = initial;  // reuses capacity when dimensions match
+  run_sweep(env, scenario, horizon_min, workspace);
+  return workspace.times_;
+}
+
+void FirePropagator::run_sweep(const FireEnvironment& env,
+                               const Scenario& scenario, double horizon_min,
+                               PropagationWorkspace& workspace) const {
   ESSNS_REQUIRE(horizon_min >= 0.0, "horizon must be non-negative");
 
   const MoistureSet moisture{
@@ -71,24 +96,23 @@ IgnitionMap FirePropagator::propagate(const FireEnvironment& env,
   const double wind_fpm = units::mph_to_ft_per_min(scenario.wind_speed);
 
   // Fire behavior per cell. With uniform topography the behavior depends
-  // only on the fuel model, so a 14-entry cache covers the whole map; with a
-  // DEM each cell may differ, so cache per (model, slope, aspect) cell value.
+  // only on the fuel model, so the workspace's 14-entry cache covers the
+  // whole map; with a DEM each cell may differ, so compute per cell.
   const bool uniform = !env.has_topography();
-  std::array<FireBehavior, 14> by_model{};
-  std::array<bool, 14> by_model_ready{};
+  workspace.by_model_ready_.fill(false);
   auto behavior_at = [&](int r, int c) -> FireBehavior {
     const int fuel = env.fuel_model_at(r, c, scenario);
     if (fuel <= 0) return FireBehavior{};  // unburnable
     if (uniform) {
       auto idx = static_cast<std::size_t>(fuel);
-      if (!by_model_ready[idx]) {
+      if (!workspace.by_model_ready_[idx]) {
         WindSlope ws{wind_fpm, scenario.wind_dir,
                      units::slope_degrees_to_ratio(scenario.slope),
                      std::fmod(scenario.aspect + 180.0, 360.0)};
-        by_model[idx] = model_->behavior(fuel, moisture, ws);
-        by_model_ready[idx] = true;
+        workspace.by_model_[idx] = model_->behavior(fuel, moisture, ws);
+        workspace.by_model_ready_[idx] = true;
       }
-      return by_model[idx];
+      return workspace.by_model_[idx];
     }
     WindSlope ws{wind_fpm, scenario.wind_dir,
                  units::slope_degrees_to_ratio(env.slope_deg_at(r, c, scenario)),
@@ -96,24 +120,34 @@ IgnitionMap FirePropagator::propagate(const FireEnvironment& env,
     return model_->behavior(fuel, moisture, ws);
   };
 
-  IgnitionMap times(env.rows(), env.cols(), kNeverIgnited);
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> heap;
+  IgnitionMap& times = workspace.times_;
+  auto& heap = workspace.heap_;
+  heap.clear();
+  // Same min-heap std::priority_queue maintains, with the storage reused.
+  using Entry = PropagationWorkspace::HeapEntry;
+  const auto later = [](const Entry& a, const Entry& b) {
+    return a.time > b.time;
+  };
+  const auto heap_push = [&](double time, std::size_t cell) {
+    heap.push_back(Entry{time, cell});
+    std::push_heap(heap.begin(), heap.end(), later);
+  };
 
-  for (int r = 0; r < initial.rows(); ++r) {
-    for (int c = 0; c < initial.cols(); ++c) {
-      const double t = initial(r, c);
+  for (int r = 0; r < times.rows(); ++r) {
+    for (int c = 0; c < times.cols(); ++c) {
+      const double t = times(r, c);
       if (t < kNeverIgnited) {
         ESSNS_REQUIRE(t >= 0.0, "initial ignition times must be non-negative");
-        times(r, c) = t;
-        heap.push({t, times.index_of(r, c)});
+        heap_push(t, times.index_of(r, c));
       }
     }
   }
 
   const double cell_ft = env.cell_size_ft();
   while (!heap.empty()) {
-    const QueueEntry top = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const Entry top = heap.back();
+    heap.pop_back();
     const CellIndex cell = times.cell_of(top.cell);
     if (top.time > times(cell)) continue;  // stale entry
     if (top.time > horizon_min) break;     // everything later is out of horizon
@@ -133,16 +167,16 @@ IgnitionMap FirePropagator::propagate(const FireEnvironment& env,
       const double arrival = top.time + dist / rate;
       if (arrival < times(nr, nc) && arrival <= horizon_min) {
         times(nr, nc) = arrival;
-        heap.push({arrival, times.index_of(nr, nc)});
+        heap_push(arrival, times.index_of(nr, nc));
       }
     }
   }
+  heap.clear();
 
   // Clamp: anything beyond the horizon is reported as never ignited, matching
   // the simulator contract ("time instant of ignition ... or zero otherwise").
   for (double& t : times)
     if (t > horizon_min) t = kNeverIgnited;
-  return times;
 }
 
 }  // namespace essns::firelib

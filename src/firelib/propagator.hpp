@@ -28,6 +28,40 @@ Grid<std::uint8_t> burned_mask(const IgnitionMap& map, double time_min);
 /// Number of cells ignited at or before `time_min`.
 std::size_t burned_count(const IgnitionMap& map, double time_min);
 
+/// Reusable per-thread propagation state: the working ignition-time map, the
+/// Dijkstra heap storage, and the per-fuel-model fire-behavior cache. A
+/// workspace amortizes all per-call allocations across simulations — each
+/// worker of the batched SimulationService owns one and reuses it for every
+/// simulation it runs. Results are bit-identical to workspace-free calls; a
+/// workspace carries no state between calls other than capacity.
+class PropagationWorkspace {
+ public:
+  PropagationWorkspace() = default;
+
+  // One live propagation at a time per workspace; not thread-safe.
+  PropagationWorkspace(const PropagationWorkspace&) = delete;
+  PropagationWorkspace& operator=(const PropagationWorkspace&) = delete;
+  PropagationWorkspace(PropagationWorkspace&&) = default;
+  PropagationWorkspace& operator=(PropagationWorkspace&&) = default;
+
+  /// Ignition-time map produced by the last propagate() call through this
+  /// workspace (valid until the next call).
+  const IgnitionMap& last_map() const { return times_; }
+
+ private:
+  friend class FirePropagator;
+
+  struct HeapEntry {
+    double time;
+    std::size_t cell;
+  };
+
+  IgnitionMap times_;
+  std::vector<HeapEntry> heap_;
+  std::array<FireBehavior, 14> by_model_{};
+  std::array<bool, 14> by_model_ready_{};
+};
+
 class FirePropagator {
  public:
   explicit FirePropagator(const FireSpreadModel& model);
@@ -43,7 +77,24 @@ class FirePropagator {
   IgnitionMap propagate(const FireEnvironment& env, const Scenario& scenario,
                         const IgnitionMap& initial, double horizon_min) const;
 
+  /// Allocation-free variants: compute into `workspace` and return a
+  /// reference to its map (valid until the workspace is reused). Fitness
+  /// evaluation reads the map in place; batch simulation copies it out.
+  const IgnitionMap& propagate(const FireEnvironment& env,
+                               const Scenario& scenario,
+                               const std::vector<CellIndex>& ignitions,
+                               double horizon_min,
+                               PropagationWorkspace& workspace) const;
+  const IgnitionMap& propagate(const FireEnvironment& env,
+                               const Scenario& scenario,
+                               const IgnitionMap& initial, double horizon_min,
+                               PropagationWorkspace& workspace) const;
+
  private:
+  /// Dijkstra sweep over workspace.times_ (already seeded with source times).
+  void run_sweep(const FireEnvironment& env, const Scenario& scenario,
+                 double horizon_min, PropagationWorkspace& workspace) const;
+
   const FireSpreadModel* model_;
 };
 

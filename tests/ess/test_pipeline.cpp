@@ -115,6 +115,61 @@ TEST_F(PipelineTest, ParallelWorkersGiveSameQualityShape) {
                      rp.steps[i].prediction_quality);
 }
 
+TEST_F(PipelineTest, SerialAndParallelStepReportsBitIdentical) {
+  // Acceptance contract of the batched SimulationService: at a fixed seed
+  // every numeric field of every StepReport (except wall-clock timings) is
+  // bit-identical between workers == 1 and workers == 4.
+  core::NsGaConfig ns;
+  ns.population_size = 8;
+  ns.offspring_count = 8;
+  PipelineConfig serial_cfg = config_;
+  serial_cfg.stop = {4, 0.95};
+  serial_cfg.workers = 1;
+  PipelineConfig parallel_cfg = serial_cfg;
+  parallel_cfg.workers = 4;
+
+  PredictionPipeline ps(workload_.environment, truth_, serial_cfg);
+  PredictionPipeline pp(workload_.environment, truth_, parallel_cfg);
+  NsGaOptimizer o1(ns), o2(ns);
+  Rng a(11), b(11);
+  const auto rs = ps.run(o1, a);
+  const auto rp = pp.run(o2, b);
+  ASSERT_EQ(rs.steps.size(), rp.steps.size());
+  for (std::size_t i = 0; i < rs.steps.size(); ++i) {
+    const StepReport& s = rs.steps[i];
+    const StepReport& p = rp.steps[i];
+    EXPECT_EQ(s.step, p.step);
+    EXPECT_EQ(s.kign, p.kign);
+    EXPECT_EQ(s.calibration_fitness, p.calibration_fitness);
+    EXPECT_EQ(s.best_os_fitness, p.best_os_fitness);
+    EXPECT_EQ(s.prediction_quality, p.prediction_quality);
+    EXPECT_EQ(s.os_evaluations, p.os_evaluations);
+    EXPECT_EQ(s.os_generations, p.os_generations);
+    EXPECT_EQ(s.solution_count, p.solution_count);
+  }
+  EXPECT_EQ(ps.last_probability(), pp.last_probability());
+  EXPECT_EQ(ps.last_prediction(), pp.last_prediction());
+}
+
+TEST_F(PipelineTest, StageTimingsCoverTheStep) {
+  PredictionPipeline pipeline(workload_.environment, truth_, config_);
+  core::NsGaConfig ns;
+  ns.population_size = 8;
+  ns.offspring_count = 8;
+  NsGaOptimizer optimizer(ns);
+  Rng rng(12);
+  const auto result = pipeline.run(optimizer, rng);
+  for (const auto& step : result.steps) {
+    EXPECT_GE(step.os_seconds, 0.0);
+    EXPECT_GE(step.ss_seconds, 0.0);
+    EXPECT_GE(step.cs_seconds, 0.0);
+    EXPECT_GE(step.ps_seconds, 0.0);
+    const double stages = step.os_seconds + step.ss_seconds + step.cs_seconds +
+                          step.ps_seconds;
+    EXPECT_LE(stages, step.elapsed_seconds + 1e-6);
+  }
+}
+
 TEST_F(PipelineTest, SolutionMapCapRespected) {
   PipelineConfig cfg = config_;
   cfg.max_solution_maps = 5;

@@ -1,0 +1,126 @@
+#include "ess/simulation_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ess/fitness.hpp"
+#include "synth/ground_truth.hpp"
+#include "synth/workloads.hpp"
+
+namespace essns::ess {
+namespace {
+
+class SimulationServiceTest : public ::testing::Test {
+ protected:
+  SimulationServiceTest() : workload_(synth::make_plains(32)) {
+    Rng rng(5);
+    truth_ = synth::generate_ground_truth(workload_.environment,
+                                          workload_.truth_config, rng);
+    Rng sample_rng(17);
+    const auto& space = firelib::ScenarioSpace::table1();
+    for (int i = 0; i < 12; ++i)
+      scenarios_.push_back(space.sample(sample_rng));
+  }
+
+  synth::Workload workload_;
+  synth::GroundTruth truth_;
+  std::vector<firelib::Scenario> scenarios_;
+};
+
+TEST_F(SimulationServiceTest, BatchEqualsSerialAcrossWorkerCounts) {
+  // The reproducibility contract: simulate_batch must be bit-identical to
+  // N independent simulate() calls at every worker count.
+  SimulationService reference(workload_.environment, 1);
+  std::vector<firelib::IgnitionMap> expected;
+  for (const auto& scenario : scenarios_)
+    expected.push_back(reference.simulate(scenario, truth_.fire_lines[0],
+                                          truth_.step_minutes));
+
+  for (unsigned workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE(workers);
+    SimulationService service(workload_.environment, workers);
+    const auto maps = service.simulate_batch(scenarios_, truth_.fire_lines[0],
+                                             truth_.step_minutes);
+    ASSERT_EQ(maps.size(), expected.size());
+    for (std::size_t i = 0; i < maps.size(); ++i) EXPECT_EQ(maps[i], expected[i]);
+  }
+}
+
+TEST_F(SimulationServiceTest, FitnessBatchMatchesScalarJaccard) {
+  SimulationService reference(workload_.environment, 1);
+  std::vector<double> expected;
+  for (const auto& scenario : scenarios_) {
+    const auto map = reference.simulate(scenario, truth_.fire_lines[0],
+                                        truth_.step_minutes);
+    expected.push_back(
+        jaccard_at(truth_.fire_lines[1], map, truth_.step_minutes, 0.0));
+  }
+
+  for (unsigned workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE(workers);
+    SimulationService service(workload_.environment, workers);
+    const auto fitness = service.fitness_batch(
+        scenarios_, truth_.fire_lines[0], truth_.fire_lines[1], 0.0,
+        truth_.step_minutes);
+    ASSERT_EQ(fitness.size(), expected.size());
+    for (std::size_t i = 0; i < fitness.size(); ++i)
+      EXPECT_EQ(fitness[i], expected[i]);  // bitwise, not approximate
+  }
+}
+
+TEST_F(SimulationServiceTest, RunBatchScoresAndKeepsMapsPerRequest) {
+  SimulationService service(workload_.environment, 2);
+  std::vector<SimulationRequest> requests(2);
+  requests[0].scenario = &scenarios_[0];
+  requests[0].start = &truth_.fire_lines[0];
+  requests[0].end_time = truth_.step_minutes;
+  requests[0].target = &truth_.fire_lines[1];
+  requests[0].keep_map = false;
+  requests[1].scenario = &scenarios_[1];
+  requests[1].start = &truth_.fire_lines[0];
+  requests[1].end_time = truth_.step_minutes;
+
+  const auto results = service.run_batch(requests);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].map.empty());  // fitness-only request drops the map
+  EXPECT_GE(results[0].fitness, 0.0);
+  EXPECT_LE(results[0].fitness, 1.0);
+  EXPECT_FALSE(results[1].map.empty());
+  EXPECT_EQ(results[1].fitness, 0.0);  // no target -> unscored
+}
+
+TEST_F(SimulationServiceTest, CountsEverySimulation) {
+  SimulationService service(workload_.environment, 2);
+  EXPECT_EQ(service.simulations_run(), 0u);
+  service.simulate_batch(scenarios_, truth_.fire_lines[0],
+                         truth_.step_minutes);
+  EXPECT_EQ(service.simulations_run(), scenarios_.size());
+  service.simulate(scenarios_[0], truth_.fire_lines[0], truth_.step_minutes);
+  EXPECT_EQ(service.simulations_run(), scenarios_.size() + 1);
+}
+
+TEST_F(SimulationServiceTest, EmptyBatchIsANoOp) {
+  SimulationService service(workload_.environment, 2);
+  EXPECT_TRUE(service.simulate_batch({}, truth_.fire_lines[0],
+                                     truth_.step_minutes)
+                  .empty());
+  EXPECT_EQ(service.simulations_run(), 0u);
+}
+
+TEST_F(SimulationServiceTest, ReportsWorkerCount) {
+  EXPECT_EQ(SimulationService(workload_.environment, 1).workers(), 1u);
+  EXPECT_EQ(SimulationService(workload_.environment, 3).workers(), 3u);
+}
+
+TEST_F(SimulationServiceTest, RejectsZeroWorkers) {
+  EXPECT_THROW(SimulationService(workload_.environment, 0), InvalidArgument);
+}
+
+TEST_F(SimulationServiceTest, RejectsUnsetRequestPointers) {
+  SimulationService service(workload_.environment, 1);
+  std::vector<SimulationRequest> requests(1);  // scenario/start left null
+  EXPECT_THROW(service.run_batch(requests), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace essns::ess
