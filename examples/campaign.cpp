@@ -1,67 +1,73 @@
-// Campaign: the full ESS-NS predictive process on the 'hills' burn case —
-// fractal terrain, fuel mosaic, per-cell topography — with parallel workers
-// and map export.
+// Campaign: concurrent multi-fire prediction over a generated scenario
+// catalog — the service layer in one page.
 //
-// Demonstrates: workload construction, ground-truth generation, the
-// OS->SS->CS->PS pipeline with the NS-GA optimizer, and writing the final
-// probability matrix / predicted fire line as ESRI ASCII grids (load them in
-// QGIS or any GIS viewer).
+// Demonstrates: expanding a CatalogSpec (terrain x weather x ignition) into
+// distinct workloads, running one full OS->SS->CS->PS prediction job per
+// workload through the CampaignScheduler with bounded job concurrency, and
+// exporting each job's final probability matrix / predicted fire line as
+// ESRI ASCII grids (load them in QGIS or any GIS viewer).
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/ascii_grid.hpp"
-#include "ess/pipeline.hpp"
-#include "synth/workloads.hpp"
+#include "service/campaign.hpp"
+#include "service/report.hpp"
+#include "synth/catalog.hpp"
 
 int main(int argc, char** argv) {
   using namespace essns;
 
-  const int size = argc > 1 ? std::atoi(argv[1]) : 64;
-  std::printf("hills campaign on a %dx%d map\n", size, size);
-
-  synth::Workload workload = synth::make_hills(size);
-  Rng rng(42);
-  const synth::GroundTruth truth = synth::generate_ground_truth(
-      workload.environment, workload.truth_config, rng);
-
-  for (int i = 0; i <= truth.steps(); ++i) {
-    std::printf("  RFL t%d: %5zu burned cells\n", i,
-                firelib::burned_count(
-                    truth.fire_lines[static_cast<std::size_t>(i)],
-                    truth.time_of(i)));
+  const int size = argc > 1 ? std::atoi(argv[1]) : 48;
+  if (size < 16) {
+    std::fprintf(stderr, "usage: campaign [size >= 16]\n");
+    return 1;
   }
 
-  ess::PipelineConfig config;
-  config.stop = {25, 0.95};
-  config.workers = 4;  // Master/Worker evaluation (Fig. 3)
-  ess::PredictionPipeline pipeline(workload.environment, truth, config);
+  // Eight fires: plains and hills terrain under steady and drifting wind,
+  // center and off-center outbreaks.
+  synth::CatalogSpec spec;
+  spec.terrains = {synth::TerrainFamily::kPlains, synth::TerrainFamily::kHills};
+  spec.sizes = {size};
+  spec.weather = {synth::WeatherRegime::kSteady,
+                  synth::WeatherRegime::kWindShift};
+  spec.ignitions = {synth::IgnitionPattern::kCenter,
+                    synth::IgnitionPattern::kOffset};
+  const std::vector<synth::Workload> workloads = synth::generate_catalog(spec);
+  std::printf("campaign over %zu workloads on %dx%d maps\n", workloads.size(),
+              size, size);
 
-  core::NsGaConfig ns;
-  ns.population_size = 24;
-  ns.offspring_count = 24;
-  ns.novelty_k = 10;
-  ess::NsGaOptimizer optimizer(ns);
+  service::CampaignConfig config;
+  config.job_concurrency = 2;   // two prediction jobs in flight
+  config.total_workers = 4;     // Master/Worker budget, split over the jobs
+  config.generations = 15;
+  config.population = 24;
+  config.offspring = 24;
+  config.keep_final_maps = true;
+  config.on_job_done = [](const service::JobRecord& job) {
+    std::printf("  finished %-28s %-9s %6.2fs\n", job.workload.c_str(),
+                service::to_string(job.status), job.elapsed_seconds);
+  };
 
-  const ess::PipelineResult result = pipeline.run(optimizer, rng);
-  std::printf("\n%-10s %-6s %-12s %-10s %-8s\n", "predicted", "Kign",
-              "calibration", "quality", "time[s]");
-  for (const auto& step : result.steps) {
-    std::printf("t%-9d %-6.2f %-12.3f %-10.3f %-8.2f\n", step.step, step.kign,
-                step.calibration_fitness, step.prediction_quality,
-                step.elapsed_seconds);
+  const service::CampaignScheduler scheduler(config);
+  const service::CampaignResult result = scheduler.run(workloads);
+
+  std::printf("\n");
+  service::campaign_summary_table(result, "catalog campaign").print();
+  std::printf("%.3f jobs/sec, mean quality %.3f over %zu/%zu jobs\n",
+              result.jobs_per_second(), result.mean_quality(),
+              result.succeeded(), result.jobs.size());
+
+  // Export every job's last probability matrix and prediction for GIS tools.
+  for (const auto& job : result.jobs) {
+    if (job.status != service::JobStatus::kSucceeded) continue;
+    const std::string stem = "campaign_" + job.workload;
+    write_ascii_grid(stem + "_probability.asc", job.final_probability, 100.0);
+    Grid<double> prediction(job.rows, job.cols, 0.0);
+    for (int r = 0; r < job.rows; ++r)
+      for (int c = 0; c < job.cols; ++c)
+        prediction(r, c) = job.final_prediction(r, c);
+    write_ascii_grid(stem + "_prediction.asc", prediction, 100.0);
   }
-  std::printf("mean prediction quality: %.3f (total %.1fs, %zu simulations)\n",
-              result.mean_quality(), result.total_seconds(),
-              result.total_evaluations());
-
-  // Export the last step's probability matrix and prediction for GIS tools.
-  write_ascii_grid("campaign_probability.asc", pipeline.last_probability(),
-                   100.0);
-  Grid<double> prediction(size, size, 0.0);
-  for (int r = 0; r < size; ++r)
-    for (int c = 0; c < size; ++c)
-      prediction(r, c) = pipeline.last_prediction()(r, c);
-  write_ascii_grid("campaign_prediction.asc", prediction, 100.0);
-  std::printf(
-      "wrote campaign_probability.asc and campaign_prediction.asc\n");
-  return 0;
+  std::printf("wrote campaign_<workload>_{probability,prediction}.asc\n");
+  return result.failed() == 0 ? 0 : 2;
 }

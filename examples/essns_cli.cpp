@@ -3,32 +3,249 @@
 //
 //   essns_cli method=ess-ns workload=wind_shift size=48 generations=25
 //   essns_cli @run.conf            (read keys from a file)
+//   essns_cli campaign --jobs 4 --workers 4 sizes=32 generations=10
+//   essns_cli campaign --catalog catalog.conf jsonl=jobs.jsonl
 //   essns_cli --help
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
 
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "ess/config.hpp"
+#include "service/campaign.hpp"
+#include "service/report.hpp"
+#include "synth/catalog.hpp"
 
-int main(int argc, char** argv) {
-  using namespace essns;
+namespace {
 
-  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
-    std::printf(
-        "usage: essns_cli [key=value ...] [@config-file]\n\n"
-        "keys: workload size method seed generations fitness_threshold\n"
-        "      population offspring workers novelty_k islands\n"
-        "methods:");
-    for (const auto& m : ess::RunSpec::known_methods())
-      std::printf(" %s", m.c_str());
-    std::printf("\nworkloads: plains hills wind_shift\n");
-    return 0;
+using namespace essns;
+
+void print_help() {
+  std::printf(
+      "usage: essns_cli [key=value ...] [@config-file]\n"
+      "       essns_cli campaign [flags] [key=value ...]\n\n"
+      "single run\n"
+      "  keys: workload size method seed generations fitness_threshold\n"
+      "        population offspring workers novelty_k islands\n"
+      "  methods:");
+  for (const auto& m : ess::RunSpec::known_methods())
+    std::printf(" %s", m.c_str());
+  std::printf(
+      "\n  workloads: plains hills wind_shift\n\n"
+      "campaign — one prediction job per catalog workload, run concurrently\n"
+      "  flags:\n"
+      "    --jobs N       prediction jobs in flight at once (default 1)\n"
+      "    --workers N    total simulation-worker budget, split evenly over\n"
+      "                   the concurrent jobs (default 1; also valid in\n"
+      "                   single-run mode, where it maps to workers=N)\n"
+      "    --catalog F    read a catalog spec (key=value file) instead of\n"
+      "                   the built-in default catalog (8 workloads)\n"
+      "  campaign keys: method seed generations fitness_threshold population\n"
+      "                 offspring novelty_k islands jsonl csv summary\n"
+      "                 (jsonl/csv/summary are output paths; 'none' skips;\n"
+      "                 defaults campaign_jobs.jsonl / none /\n"
+      "                 campaign_summary.json)\n"
+      "  catalog keys:  terrains sizes weather ignitions seeds base_seed\n"
+      "                 steps step_minutes noise limit\n"
+      "                 terrains:  plains hills rugged\n"
+      "                 weather:   steady wind_shift diurnal\n"
+      "                 ignitions: center offset edge corner\n\n"
+      "exit status: 0 all jobs succeeded, 1 on usage/config error,\n"
+      "             2 when the campaign finished with failed jobs\n");
+}
+
+bool is_catalog_key(const std::string& key) {
+  static const char* keys[] = {"terrains", "sizes",        "weather",
+                               "ignitions", "seeds",       "base_seed",
+                               "steps",     "step_minutes", "noise",
+                               "limit"};
+  for (const char* k : keys)
+    if (key == k) return true;
+  return false;
+}
+
+// Strict flag parsing on top of common/parse.hpp: reject, report, exit.
+int require_positive_int(const char* flag, const std::string& value) {
+  const auto v = parse_int(value);
+  if (!v || *v < 1) {
+    std::fprintf(stderr, "%s expects a positive integer, got '%s'\n", flag,
+                 value.c_str());
+    std::exit(1);
+  }
+  return *v;
+}
+
+std::uint64_t require_uint64(const char* flag, const std::string& value) {
+  const auto v = parse_uint64(value);
+  if (!v) {
+    std::fprintf(stderr, "%s expects a 64-bit unsigned integer, got '%s'\n",
+                 flag, value.c_str());
+    std::exit(1);
+  }
+  return *v;
+}
+
+double require_double(const char* flag, const std::string& value) {
+  const auto v = parse_double(value);
+  if (!v) {
+    std::fprintf(stderr, "%s expects a number, got '%s'\n", flag,
+                 value.c_str());
+    std::exit(1);
+  }
+  return *v;
+}
+
+int run_campaign(int argc, char** argv) {
+  service::CampaignConfig config;
+  // Catalog files accumulate in flag order; inline catalog keys go after
+  // them, so later files override earlier ones and inline keys override
+  // every file (parse_catalog_spec is last-line-wins).
+  std::string catalog_file_text;
+  std::string catalog_inline_text;
+  std::string jsonl_path = "campaign_jobs.jsonl";
+  std::string csv_path = "none";
+  std::string summary_path = "campaign_summary.json";
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      print_help();
+      return 0;
+    }
+    if (arg == "--jobs" || arg == "--workers" || arg == "--catalog") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s expects a value\n", arg.c_str());
+        return 1;
+      }
+      const char* value = argv[++i];
+      if (arg == "--jobs") {
+        config.job_concurrency =
+            static_cast<unsigned>(require_positive_int("--jobs", value));
+      } else if (arg == "--workers") {
+        config.total_workers =
+            static_cast<unsigned>(require_positive_int("--workers", value));
+      } else {
+        std::ifstream file(value);
+        if (!file) {
+          std::fprintf(stderr, "cannot open catalog file %s\n", value);
+          return 1;
+        }
+        std::ostringstream text;
+        text << file.rdbuf();
+        catalog_file_text += text.str() + "\n";
+      }
+      continue;
+    }
+
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "campaign argument is not key=value: %s\n",
+                   arg.c_str());
+      return 1;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (is_catalog_key(key)) {
+      catalog_inline_text += arg + "\n";
+    } else if (key == "method") {
+      config.method = value;
+    } else if (key == "seed") {
+      config.seed = require_uint64("seed", value);
+    } else if (key == "generations") {
+      config.generations = require_positive_int("generations", value);
+    } else if (key == "fitness_threshold") {
+      config.fitness_threshold =
+          require_double("fitness_threshold", value);
+    } else if (key == "population") {
+      config.population = static_cast<std::size_t>(
+          require_positive_int("population", value));
+    } else if (key == "offspring") {
+      config.offspring = static_cast<std::size_t>(
+          require_positive_int("offspring", value));
+    } else if (key == "novelty_k") {
+      config.novelty_k = require_positive_int("novelty_k", value);
+    } else if (key == "islands") {
+      config.islands = require_positive_int("islands", value);
+    } else if (key == "jsonl") {
+      jsonl_path = value;
+    } else if (key == "csv") {
+      csv_path = value;
+    } else if (key == "summary") {
+      summary_path = value;
+    } else {
+      std::fprintf(stderr, "unknown campaign key: %s\n", key.c_str());
+      return 1;
+    }
   }
 
+  try {
+    const synth::CatalogSpec spec =
+        synth::parse_catalog_spec(catalog_file_text + catalog_inline_text);
+    const std::vector<synth::Workload> workloads =
+        synth::generate_catalog(spec);
+    std::printf("campaign: %zu workloads, %u concurrent jobs, %u workers\n",
+                workloads.size(), config.job_concurrency,
+                config.total_workers);
+
+    const std::size_t total = workloads.size();
+    config.on_job_done = [total](const service::JobRecord& job) {
+      std::printf("  job %3zu/%zu  %-32s %-9s %6.2fs%s%s\n", job.index + 1,
+                  total, job.workload.c_str(),
+                  service::to_string(job.status), job.elapsed_seconds,
+                  job.error.empty() ? "" : "  ", job.error.c_str());
+      std::fflush(stdout);
+    };
+
+    service::CampaignScheduler scheduler(config);
+    const service::CampaignResult result = scheduler.run(workloads);
+
+    std::printf("\n");
+    service::campaign_summary_table(result).print();
+    std::printf(
+        "%zu/%zu jobs succeeded in %.2fs wall (%.3f jobs/sec, mean quality "
+        "%.3f)\n",
+        result.succeeded(), result.jobs.size(), result.wall_seconds,
+        result.jobs_per_second(), result.mean_quality());
+
+    if (jsonl_path != "none") {
+      service::write_campaign_jsonl(result, jsonl_path);
+      std::printf("wrote %s\n", jsonl_path.c_str());
+    }
+    if (csv_path != "none") {
+      service::write_campaign_csv(result, csv_path);
+      std::printf("wrote %s\n", csv_path.c_str());
+    }
+    if (summary_path != "none") {
+      std::ofstream out(summary_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", summary_path.c_str());
+        return 1;
+      }
+      out << service::campaign_summary_json(result) << "\n";
+      std::printf("wrote %s\n", summary_path.c_str());
+    }
+    return result.failed() == 0 ? 0 : 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "campaign error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_single(int argc, char** argv) {
   std::ostringstream config_text;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--workers expects a value\n");
+        return 1;
+      }
+      config_text << "workers=" << argv[++i] << '\n';
+      continue;
+    }
     if (argv[i][0] == '@') {
       std::ifstream file(argv[i] + 1);
       if (!file) {
@@ -65,4 +282,16 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("mean prediction quality: %.3f\n", result.mean_quality());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+    print_help();
+    return 0;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "campaign") == 0)
+    return run_campaign(argc, argv);
+  return run_single(argc, argv);
 }

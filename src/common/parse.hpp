@@ -1,0 +1,59 @@
+// Strict numeric parsing for configuration values.
+//
+// Every key=value surface in the system (ess::parse_run_spec,
+// synth::parse_catalog_spec, the essns_cli flag handlers) must reject
+// malformed numbers loudly rather than truncate them the way the raw strto*
+// family does. These helpers parse the *whole* string or return nullopt —
+// trailing junk, overflow, and (for the unsigned parser) sign prefixes all
+// fail — leaving the caller to pick its error channel (throw vs exit).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace essns {
+
+/// Whole-string int, via std::stoi; nullopt on junk or overflow.
+inline std::optional<int> parse_int(const std::string& text) {
+  std::size_t used = 0;
+  int v = 0;
+  try {
+    v = std::stoi(text, &used);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (used != text.size()) return std::nullopt;
+  return v;
+}
+
+/// Whole-string double, via std::stod; nullopt on junk or overflow.
+inline std::optional<double> parse_double(const std::string& text) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &used);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (used != text.size()) return std::nullopt;
+  return v;
+}
+
+/// Whole-string uint64 (full 64-bit range — seeds round-trip exactly);
+/// nullopt on junk, overflow, or a sign prefix.
+inline std::optional<std::uint64_t> parse_uint64(const std::string& text) {
+  if (text.empty() || text.front() == '-' || text.front() == '+')
+    return std::nullopt;
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (used != text.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace essns

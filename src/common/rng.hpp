@@ -22,6 +22,17 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Order-sensitive seed combiner (hash_combine-style feed into splitmix64):
+/// fold `value` into `state` to derive an independent child seed. Chaining
+/// calls keeps every (state, value) pair on its own stream — the catalog and
+/// campaign layers use this to give each generated workload and each job a
+/// collision-resistant seed that is a pure function of its coordinates.
+inline std::uint64_t combine_seed(std::uint64_t state, std::uint64_t value) {
+  std::uint64_t s =
+      state ^ (value + 0x9E3779B97f4A7C15ULL + (state << 6) + (state >> 2));
+  return splitmix64(s);
+}
+
 /// xoshiro256** generator (Blackman & Vigna). Satisfies
 /// UniformRandomBitGenerator so it can also feed <random> distributions.
 class Rng {

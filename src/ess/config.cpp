@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "core/ns_de.hpp"
 
 namespace essns::ess {
@@ -64,28 +65,16 @@ RunSpec parse_run_spec(std::istream& in) {
     ESSNS_REQUIRE(!value.empty(), "config key '" + key + "' has empty value");
 
     auto as_int = [&](int lo) {
-      std::size_t used = 0;
-      int v = 0;
-      try {
-        v = std::stoi(value, &used);
-      } catch (const std::exception&) {
-        used = 0;
-      }
-      ESSNS_REQUIRE(used == value.size() && v >= lo,
+      const auto v = parse_int(value);
+      ESSNS_REQUIRE(v.has_value() && *v >= lo,
                     "bad integer for config key '" + key + "': " + value);
-      return v;
+      return *v;
     };
     auto as_double = [&] {
-      std::size_t used = 0;
-      double v = 0.0;
-      try {
-        v = std::stod(value, &used);
-      } catch (const std::exception&) {
-        used = 0;
-      }
-      ESSNS_REQUIRE(used == value.size(),
+      const auto v = parse_double(value);
+      ESSNS_REQUIRE(v.has_value(),
                     "bad number for config key '" + key + "': " + value);
-      return v;
+      return *v;
     };
 
     if (key == "workload") spec.workload = value;

@@ -1,0 +1,166 @@
+#include "service/campaign.hpp"
+
+#include <algorithm>
+#include <future>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "ess/config.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace essns::service {
+namespace {
+
+// Per-job seed: a pure function of (campaign seed, workload seed, index) so
+// streams are independent of scheduling order and job concurrency. Chained
+// combine_seed (not a one-shot XOR) keeps coincidental cancellation between
+// the inputs from colliding two jobs onto one stream.
+std::uint64_t job_seed(std::uint64_t campaign_seed, std::uint64_t workload_seed,
+                       std::size_t index) {
+  return combine_seed(combine_seed(campaign_seed, workload_seed),
+                      static_cast<std::uint64_t>(index + 1));
+}
+
+ess::RunSpec to_run_spec(const CampaignConfig& config) {
+  ess::RunSpec spec;
+  spec.method = config.method;
+  spec.generations = config.generations;
+  spec.fitness_threshold = config.fitness_threshold;
+  spec.population = config.population;
+  spec.offspring = config.offspring;
+  spec.novelty_k = config.novelty_k;
+  spec.islands = config.islands;
+  return spec;
+}
+
+}  // namespace
+
+const char* to_string(JobStatus status) {
+  return status == JobStatus::kSucceeded ? "succeeded" : "failed";
+}
+
+std::size_t CampaignResult::succeeded() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(), [](const JobRecord& j) {
+        return j.status == JobStatus::kSucceeded;
+      }));
+}
+
+std::size_t CampaignResult::failed() const { return jobs.size() - succeeded(); }
+
+double CampaignResult::jobs_per_second() const {
+  if (jobs.empty() || wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(jobs.size()) / wall_seconds;
+}
+
+double CampaignResult::mean_quality() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& job : jobs) {
+    if (job.status != JobStatus::kSucceeded) continue;
+    sum += job.result.mean_quality();
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+CampaignScheduler::CampaignScheduler(CampaignConfig config)
+    : config_(std::move(config)) {
+  ESSNS_REQUIRE(config_.job_concurrency >= 1, "job_concurrency >= 1");
+  ESSNS_REQUIRE(config_.total_workers >= 1, "total_workers >= 1");
+  ESSNS_REQUIRE(config_.generations >= 1, "generations >= 1");
+  // Fail fast on methods the job runner cannot build (e.g. essim-monitor).
+  (void)ess::make_optimizer(to_run_spec(config_));
+}
+
+unsigned CampaignScheduler::workers_per_job(std::size_t job_count) const {
+  const unsigned in_flight = static_cast<unsigned>(
+      std::min<std::size_t>(config_.job_concurrency,
+                            std::max<std::size_t>(job_count, 1)));
+  return std::max(1u, config_.total_workers / in_flight);
+}
+
+JobRecord CampaignScheduler::run_job(const synth::Workload& workload,
+                                     std::size_t index,
+                                     unsigned workers) const {
+  JobRecord record;
+  record.index = index;
+  record.workload = workload.name;
+  record.rows = workload.environment.rows();
+  record.cols = workload.environment.cols();
+  record.seed = job_seed(config_.seed, workload.seed, index);
+  record.workers = workers;
+
+  Stopwatch watch;
+  try {
+    Rng truth_rng(record.seed);
+    const synth::GroundTruth truth = synth::generate_truth(workload, truth_rng);
+
+    ess::PipelineConfig pipeline_config;
+    pipeline_config.stop = {config_.generations, config_.fitness_threshold};
+    pipeline_config.workers = workers;
+    pipeline_config.max_solution_maps = config_.max_solution_maps;
+    ess::PredictionPipeline pipeline(workload.environment, truth,
+                                     pipeline_config);
+
+    auto optimizer = ess::make_optimizer(to_run_spec(config_));
+    Rng rng(record.seed ^ 0x5eedULL);
+    record.result = pipeline.run(*optimizer, rng);
+    record.status = JobStatus::kSucceeded;
+    if (config_.keep_final_maps) {
+      record.final_probability = pipeline.last_probability();
+      record.final_prediction = pipeline.last_prediction();
+    }
+  } catch (const std::exception& e) {
+    record.status = JobStatus::kFailed;
+    record.error = e.what();
+  } catch (...) {
+    record.status = JobStatus::kFailed;
+    record.error = "unknown exception";
+  }
+  record.elapsed_seconds = watch.elapsed_seconds();
+  return record;
+}
+
+CampaignResult CampaignScheduler::run(
+    const std::vector<synth::Workload>& workloads) const {
+  CampaignResult result;
+  result.job_concurrency = config_.job_concurrency;
+  result.workers_per_job = workers_per_job(workloads.size());
+  result.jobs.resize(workloads.size());
+  if (workloads.empty()) return result;
+
+  const unsigned per_job = result.workers_per_job;
+  Stopwatch wall;
+
+  const unsigned concurrency = static_cast<unsigned>(
+      std::min<std::size_t>(config_.job_concurrency, workloads.size()));
+  if (concurrency <= 1) {
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      result.jobs[i] = run_job(workloads[i], i, per_job);
+      if (config_.on_job_done) config_.on_job_done(result.jobs[i]);
+    }
+  } else {
+    parallel::ThreadPool pool(concurrency);
+    std::mutex done_mutex;
+    std::vector<std::future<void>> pending;
+    pending.reserve(workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      pending.push_back(pool.submit([this, &workloads, &result, &done_mutex,
+                                     per_job, i] {
+        result.jobs[i] = run_job(workloads[i], i, per_job);
+        if (config_.on_job_done) {
+          std::lock_guard lock(done_mutex);
+          config_.on_job_done(result.jobs[i]);
+        }
+      }));
+    }
+    for (auto& f : pending) f.get();
+  }
+
+  result.wall_seconds = wall.elapsed_seconds();
+  return result;
+}
+
+}  // namespace essns::service

@@ -1,0 +1,113 @@
+// CampaignScheduler: concurrent multi-fire prediction jobs — the service
+// layer above the per-pipeline SimulationService.
+//
+// The paper parallelizes one prediction pipeline; a production service runs
+// *fleets* of them (one fire per job, GPU-calibration style throughput:
+// Denham & Laneri, arXiv:1701.03549; Cell2Fire, arXiv:1905.09317). A
+// campaign is one PredictionJob per synth::Workload — the full OS->SS->CS->PS
+// pipeline with its own ground truth, optimizer and rng stream — executed
+// with bounded job-level concurrency on top of parallel::ThreadPool.
+//
+// Two-level parallelism: `job_concurrency` pipelines run at once, and the
+// campaign's `total_workers` simulation budget is split evenly across the
+// concurrent jobs, each slice driving that job's pool-backed
+// SimulationService. Because the simulation stack is bit-deterministic
+// across worker counts (PR 1) and every job derives its seeds from
+// (campaign seed, workload seed, job index) alone, per-job results are
+// bit-identical at any job-concurrency level — the contract the tests and
+// bench_campaign verify.
+//
+// Error isolation: a job whose pipeline throws is recorded as kFailed with
+// the exception text; the rest of the campaign completes normally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ess/pipeline.hpp"
+#include "synth/workloads.hpp"
+
+namespace essns::service {
+
+enum class JobStatus { kSucceeded, kFailed };
+
+const char* to_string(JobStatus status);
+
+struct CampaignConfig {
+  unsigned job_concurrency = 1;  ///< pipelines in flight at once
+  unsigned total_workers = 1;    ///< simulation-worker budget, split per job
+  std::uint64_t seed = 2022;     ///< campaign stream; mixed per job
+
+  // Per-job pipeline knobs (ess::RunSpec vocabulary; essim-monitor is not an
+  // Optimizer and is rejected at construction).
+  std::string method = "ess-ns";
+  int generations = 15;
+  double fitness_threshold = 0.95;
+  std::size_t population = 16;
+  std::size_t offspring = 16;
+  int novelty_k = 10;
+  int islands = 3;
+  std::size_t max_solution_maps = 64;
+
+  /// Retain each job's final probability matrix / predicted fire line
+  /// (map-export consumers; costs two grids per job).
+  bool keep_final_maps = false;
+
+  /// Invoked once per finished job (success or failure), serialized by the
+  /// scheduler. Completion order is nondeterministic under concurrency.
+  std::function<void(const struct JobRecord&)> on_job_done;
+};
+
+/// Status, timings and results of one PredictionJob.
+struct JobRecord {
+  std::size_t index = 0;      ///< position in the submitted workload list
+  std::string workload;
+  int rows = 0;
+  int cols = 0;
+  std::uint64_t seed = 0;     ///< effective job seed (truth + search streams)
+  unsigned workers = 1;       ///< simulation workers this job ran with
+  JobStatus status = JobStatus::kFailed;
+  std::string error;          ///< exception text when status == kFailed
+  ess::PipelineResult result; ///< empty when the job failed
+  double elapsed_seconds = 0.0;
+  Grid<double> final_probability;        ///< set when keep_final_maps
+  Grid<std::uint8_t> final_prediction;   ///< set when keep_final_maps
+};
+
+struct CampaignResult {
+  std::vector<JobRecord> jobs;   ///< in submission order
+  double wall_seconds = 0.0;
+  unsigned job_concurrency = 1;  ///< concurrency the campaign ran at
+  unsigned workers_per_job = 1;  ///< simulation workers granted to each job
+
+  std::size_t succeeded() const;
+  std::size_t failed() const;
+  double jobs_per_second() const;  ///< all jobs over campaign wall-clock
+  double mean_quality() const;     ///< over succeeded jobs
+};
+
+class CampaignScheduler {
+ public:
+  explicit CampaignScheduler(CampaignConfig config);
+
+  /// Run one PredictionJob per workload. Never throws for job-level
+  /// failures; configuration errors (e.g. an unknown method) throw before
+  /// any job starts.
+  CampaignResult run(const std::vector<synth::Workload>& workloads) const;
+
+  /// Even split of total_workers over the jobs actually in flight
+  /// (>= 1 per job).
+  unsigned workers_per_job(std::size_t job_count) const;
+
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  JobRecord run_job(const synth::Workload& workload, std::size_t index,
+                    unsigned workers) const;
+
+  CampaignConfig config_;
+};
+
+}  // namespace essns::service

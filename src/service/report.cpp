@@ -1,0 +1,155 @@
+#include "service/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace essns::service {
+namespace {
+
+// Round-trip formatting so JSONL diffs double as bit-determinism checks.
+std::string num(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write " + path);
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_campaign_jsonl(const CampaignResult& result, std::ostream& out) {
+  for (const auto& job : result.jobs) {
+    out << "{\"job\":" << job.index
+        << ",\"workload\":\"" << json_escape(job.workload) << "\""
+        << ",\"status\":\"" << to_string(job.status) << "\""
+        << ",\"seed\":" << job.seed
+        << ",\"rows\":" << job.rows << ",\"cols\":" << job.cols
+        << ",\"workers\":" << job.workers
+        << ",\"elapsed_seconds\":" << num(job.elapsed_seconds);
+    if (job.status == JobStatus::kSucceeded) {
+      out << ",\"optimizer\":\"" << json_escape(job.result.optimizer_name)
+          << "\""
+          << ",\"mean_quality\":" << num(job.result.mean_quality())
+          << ",\"evaluations\":" << job.result.total_evaluations()
+          << ",\"steps\":[";
+      for (std::size_t s = 0; s < job.result.steps.size(); ++s) {
+        const auto& step = job.result.steps[s];
+        out << (s == 0 ? "" : ",") << "{\"step\":" << step.step
+            << ",\"kign\":" << num(step.kign)
+            << ",\"calibration_fitness\":" << num(step.calibration_fitness)
+            << ",\"best_os_fitness\":" << num(step.best_os_fitness)
+            << ",\"quality\":" << num(step.prediction_quality)
+            << ",\"evaluations\":" << step.os_evaluations
+            << ",\"generations\":" << step.os_generations
+            << ",\"os_seconds\":" << num(step.os_seconds)
+            << ",\"ss_seconds\":" << num(step.ss_seconds)
+            << ",\"cs_seconds\":" << num(step.cs_seconds)
+            << ",\"ps_seconds\":" << num(step.ps_seconds)
+            << ",\"elapsed_seconds\":" << num(step.elapsed_seconds) << "}";
+      }
+      out << "]";
+    } else {
+      out << ",\"error\":\"" << json_escape(job.error) << "\"";
+    }
+    out << "}\n";
+  }
+}
+
+void write_campaign_jsonl(const CampaignResult& result,
+                          const std::string& path) {
+  auto out = open_or_throw(path);
+  write_campaign_jsonl(result, out);
+}
+
+void write_campaign_csv(const CampaignResult& result, std::ostream& out) {
+  out << "job,workload,status,step,kign,calibration_fitness,quality,"
+         "os_seconds,ss_seconds,cs_seconds,ps_seconds,elapsed_seconds,error\n";
+  for (const auto& job : result.jobs) {
+    if (job.status != JobStatus::kSucceeded) {
+      // CSV has no place for quotes-in-quotes subtleties; strip commas.
+      std::string error = job.error;
+      for (auto& c : error)
+        if (c == ',' || c == '\n') c = ';';
+      out << job.index << ',' << job.workload << ",failed,,,,,,,,,"
+          << num(job.elapsed_seconds) << ',' << error << '\n';
+      continue;
+    }
+    for (const auto& step : job.result.steps) {
+      out << job.index << ',' << job.workload << ",succeeded," << step.step
+          << ',' << num(step.kign) << ',' << num(step.calibration_fitness)
+          << ',' << num(step.prediction_quality) << ',' << num(step.os_seconds)
+          << ',' << num(step.ss_seconds) << ',' << num(step.cs_seconds) << ','
+          << num(step.ps_seconds) << ',' << num(step.elapsed_seconds) << ",\n";
+    }
+  }
+}
+
+void write_campaign_csv(const CampaignResult& result, const std::string& path) {
+  auto out = open_or_throw(path);
+  write_campaign_csv(result, out);
+}
+
+std::string campaign_summary_json(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "{\"jobs\":" << result.jobs.size()
+      << ",\"succeeded\":" << result.succeeded()
+      << ",\"failed\":" << result.failed()
+      << ",\"job_concurrency\":" << result.job_concurrency
+      << ",\"workers_per_job\":" << result.workers_per_job
+      << ",\"wall_seconds\":" << num(result.wall_seconds)
+      << ",\"jobs_per_second\":" << num(result.jobs_per_second())
+      << ",\"mean_quality\":" << num(result.mean_quality()) << "}";
+  return out.str();
+}
+
+TextTable campaign_summary_table(const CampaignResult& result,
+                                 const std::string& title) {
+  TextTable table(title + " (" + std::to_string(result.jobs.size()) +
+                  " jobs, " + std::to_string(result.job_concurrency) +
+                  " concurrent, " + std::to_string(result.workers_per_job) +
+                  " workers/job)");
+  table.set_header({"job", "workload", "status", "steps", "quality", "time[s]"});
+  for (const auto& job : result.jobs) {
+    const bool ok = job.status == JobStatus::kSucceeded;
+    table.add_row({std::to_string(job.index), job.workload,
+                   to_string(job.status),
+                   ok ? std::to_string(job.result.steps.size()) : "-",
+                   ok ? TextTable::num(job.result.mean_quality()) : "-",
+                   TextTable::num(job.elapsed_seconds, 2)});
+  }
+  return table;
+}
+
+}  // namespace essns::service

@@ -25,7 +25,6 @@ firelib::Scenario plains_hidden() {
 }  // namespace
 
 Workload make_plains(int size, std::uint64_t seed) {
-  (void)seed;
   firelib::FireEnvironment env(size, size, kCellFt);
   GroundTruthConfig cfg;
   cfg.hidden = plains_hidden();
@@ -33,7 +32,7 @@ Workload make_plains(int size, std::uint64_t seed) {
   cfg.steps = 5;
   cfg.ignition = {size / 2, size / 2};
   cfg.observation_noise = 0.02;
-  return {"plains", std::move(env), cfg, {}};
+  return {"plains", std::move(env), cfg, {}, seed};
 }
 
 Workload make_hills(int size, std::uint64_t seed) {
@@ -67,11 +66,45 @@ Workload make_hills(int size, std::uint64_t seed) {
   cfg.steps = 5;
   cfg.ignition = {size / 2, size / 3};
   cfg.observation_noise = 0.02;
-  return {"hills", std::move(env), cfg, {}};
+  return {"hills", std::move(env), cfg, {}, seed};
+}
+
+Workload make_rugged(int size, std::uint64_t seed) {
+  Rng rng(seed);
+  firelib::FireEnvironment env(size, size, kCellFt);
+
+  DemConfig dem_cfg;
+  dem_cfg.size = size;
+  dem_cfg.cell_size_ft = kCellFt;
+  dem_cfg.relief_ft = 1600.0;
+  dem_cfg.roughness = 0.7;
+  const Grid<double> dem = diamond_square_dem(dem_cfg, rng);
+  env.set_topography(slope_from_dem(dem, kCellFt),
+                     aspect_from_dem(dem, kCellFt));
+
+  // Brush/timber-heavy mosaic: chaparral gullies (4), brush mid-slope (5),
+  // timber litter and understory on the upper half (8, 10).
+  Grid<std::uint8_t> fuel(size, size, 4);
+  for (int r = 0; r < size; ++r) {
+    for (int c = 0; c < size; ++c) {
+      const double h = dem(r, c) / dem_cfg.relief_ft;
+      fuel(r, c) = h < 0.25 ? 4 : (h < 0.5 ? 5 : (h < 0.75 ? 8 : 10));
+    }
+  }
+  env.set_fuel_map(std::move(fuel));
+
+  GroundTruthConfig cfg;
+  cfg.hidden = plains_hidden();
+  cfg.hidden.model = 4;  // searchable model for off-mosaic parameters
+  cfg.hidden.wind_speed = 6.0;
+  cfg.step_minutes = 60.0;
+  cfg.steps = 5;
+  cfg.ignition = {size / 2, size / 2};
+  cfg.observation_noise = 0.02;
+  return {"rugged", std::move(env), cfg, {}, seed};
 }
 
 Workload make_wind_shift(int size, std::uint64_t seed) {
-  (void)seed;
   firelib::FireEnvironment env(size, size, kCellFt);
   GroundTruthConfig cfg;
   cfg.hidden = plains_hidden();
@@ -81,7 +114,7 @@ Workload make_wind_shift(int size, std::uint64_t seed) {
   cfg.ignition = {size / 2, size / 2};
   cfg.drift_sigma = 0.08;  // wind (and the rest) random-walks every step
   cfg.observation_noise = 0.02;
-  return {"wind_shift", std::move(env), cfg, {}};
+  return {"wind_shift", std::move(env), cfg, {}, seed};
 }
 
 std::vector<Workload> standard_workloads(int size) {
@@ -108,7 +141,7 @@ Workload make_diurnal(int size, std::uint64_t seed, double start_hour) {
   weather.wind_base_mph = 5.0;
   weather.wind_diurnal_mph = 4.0;
   Rng rng(seed);
-  Workload out{"diurnal", std::move(env), cfg, {}};
+  Workload out{"diurnal", std::move(env), cfg, {}, seed};
   out.scenario_sequence = diurnal_scenarios(
       weather, cfg.hidden, start_hour, cfg.step_minutes, cfg.steps, rng);
   return out;

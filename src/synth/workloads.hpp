@@ -26,6 +26,10 @@ struct Workload {
   GroundTruthConfig truth_config;
   /// Optional explicit per-step hidden scenarios (overrides random drift).
   std::vector<firelib::Scenario> scenario_sequence;
+  /// Seed the workload was generated from (terrain + weather randomness).
+  /// Schedulers mix it into per-job streams so seed replicates of the same
+  /// catalog cell produce distinct campaigns. 0 = unseeded legacy case.
+  std::uint64_t seed = 0;
 };
 
 /// Homogeneous short-grass plain (NFFL model 1), steady moderate wind.
@@ -36,6 +40,10 @@ Workload make_hills(int size = 64, std::uint64_t seed = 23);
 
 /// Plains terrain whose hidden wind drifts each step (drift_sigma > 0).
 Workload make_wind_shift(int size = 64, std::uint64_t seed = 37);
+
+/// High-relief, rough fractal DEM with a brush/timber-heavy mosaic: the
+/// hardest terrain family (steep slope effects dominate the spread).
+Workload make_rugged(int size = 64, std::uint64_t seed = 71);
 
 /// All three standard workloads (the EXP-Q benchmark suite).
 std::vector<Workload> standard_workloads(int size = 64);

@@ -1,0 +1,227 @@
+#include "service/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "service/report.hpp"
+#include "synth/catalog.hpp"
+
+namespace essns::service {
+namespace {
+
+// Tiny but real campaign: 4 distinct fires on 16x16 maps, 3 truth steps
+// (2 predicted), small search budget — fast enough for every test below.
+std::vector<synth::Workload> tiny_workloads() {
+  synth::CatalogSpec spec;
+  spec.terrains = {synth::TerrainFamily::kPlains,
+                   synth::TerrainFamily::kHills};
+  spec.sizes = {16};
+  spec.weather = {synth::WeatherRegime::kSteady};
+  spec.ignitions = {synth::IgnitionPattern::kCenter,
+                    synth::IgnitionPattern::kOffset};
+  spec.steps = 3;
+  spec.base_seed = 11;
+  return synth::generate_catalog(spec);
+}
+
+CampaignConfig tiny_config() {
+  CampaignConfig config;
+  config.generations = 3;
+  config.population = 8;
+  config.offspring = 8;
+  config.seed = 77;
+  return config;
+}
+
+TEST(CampaignScheduler, RunsEveryJobToCompletion) {
+  const auto workloads = tiny_workloads();
+  CampaignConfig config = tiny_config();
+  config.job_concurrency = 2;
+  config.total_workers = 2;
+  const CampaignScheduler scheduler(config);
+  const CampaignResult result = scheduler.run(workloads);
+
+  ASSERT_EQ(result.jobs.size(), workloads.size());
+  EXPECT_EQ(result.succeeded(), workloads.size());
+  EXPECT_EQ(result.failed(), 0u);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_GT(result.jobs_per_second(), 0.0);
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const JobRecord& job = result.jobs[i];
+    EXPECT_EQ(job.index, i) << "results must keep submission order";
+    EXPECT_EQ(job.workload, workloads[i].name);
+    EXPECT_EQ(job.status, JobStatus::kSucceeded);
+    EXPECT_TRUE(job.error.empty());
+    EXPECT_EQ(job.result.steps.size(), 2u);  // steps=3 -> 2 predicted
+    EXPECT_GT(job.elapsed_seconds, 0.0);
+    EXPECT_NE(job.seed, 0u);
+  }
+}
+
+TEST(CampaignScheduler, DeterministicAcrossJobConcurrency) {
+  const auto workloads = tiny_workloads();
+
+  auto run_at = [&](unsigned jobs) {
+    CampaignConfig config = tiny_config();
+    config.job_concurrency = jobs;
+    config.total_workers = 4;
+    return CampaignScheduler(config).run(workloads);
+  };
+  const CampaignResult serial = run_at(1);
+  const CampaignResult concurrent = run_at(4);
+
+  ASSERT_EQ(serial.jobs.size(), concurrent.jobs.size());
+  for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+    const JobRecord& a = serial.jobs[i];
+    const JobRecord& b = concurrent.jobs[i];
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.status, b.status);
+    ASSERT_EQ(a.result.steps.size(), b.result.steps.size());
+    for (std::size_t s = 0; s < a.result.steps.size(); ++s) {
+      // Bit-identical, not approximately equal: the campaign contract.
+      EXPECT_EQ(a.result.steps[s].kign, b.result.steps[s].kign);
+      EXPECT_EQ(a.result.steps[s].calibration_fitness,
+                b.result.steps[s].calibration_fitness);
+      EXPECT_EQ(a.result.steps[s].prediction_quality,
+                b.result.steps[s].prediction_quality);
+      EXPECT_EQ(a.result.steps[s].os_evaluations,
+                b.result.steps[s].os_evaluations);
+    }
+  }
+}
+
+TEST(CampaignScheduler, FailedJobIsIsolated) {
+  auto workloads = tiny_workloads();
+  // Sabotage one job: an out-of-bounds outbreak makes ground-truth
+  // generation throw inside that job's pipeline.
+  workloads[1].truth_config.ignition = {1000, 1000};
+  workloads[1].name = "broken";
+
+  CampaignConfig config = tiny_config();
+  config.job_concurrency = 2;
+  const CampaignScheduler scheduler(config);
+  const CampaignResult result = scheduler.run(workloads);
+
+  ASSERT_EQ(result.jobs.size(), workloads.size());
+  EXPECT_EQ(result.failed(), 1u);
+  EXPECT_EQ(result.succeeded(), workloads.size() - 1);
+  EXPECT_EQ(result.jobs[1].status, JobStatus::kFailed);
+  EXPECT_NE(result.jobs[1].error.find("ignition"), std::string::npos)
+      << "error text should carry the thrown message, got: "
+      << result.jobs[1].error;
+  EXPECT_TRUE(result.jobs[1].result.steps.empty());
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{3}})
+    EXPECT_EQ(result.jobs[i].status, JobStatus::kSucceeded);
+  EXPECT_GT(result.mean_quality(), 0.0) << "mean skips failed jobs";
+}
+
+TEST(CampaignScheduler, SplitsWorkerBudgetAcrossConcurrentJobs) {
+  CampaignConfig config = tiny_config();
+  config.job_concurrency = 2;
+  config.total_workers = 4;
+  EXPECT_EQ(CampaignScheduler(config).workers_per_job(8), 2u);
+  config.job_concurrency = 8;  // more slots than jobs: split over the jobs
+  EXPECT_EQ(CampaignScheduler(config).workers_per_job(2), 2u);
+  config.job_concurrency = 16;  // budget exhausted: floor at one worker
+  EXPECT_EQ(CampaignScheduler(config).workers_per_job(16), 1u);
+}
+
+TEST(CampaignScheduler, ReportsCompletionCallbackOncePerJob) {
+  const auto workloads = tiny_workloads();
+  std::atomic<int> done{0};
+  CampaignConfig config = tiny_config();
+  config.job_concurrency = 4;
+  config.on_job_done = [&done](const JobRecord&) { ++done; };
+  CampaignScheduler(config).run(workloads);
+  EXPECT_EQ(done.load(), static_cast<int>(workloads.size()));
+}
+
+TEST(CampaignScheduler, KeepsFinalMapsOnRequest) {
+  auto workloads = tiny_workloads();
+  workloads.erase(workloads.begin() + 1, workloads.end());
+  CampaignConfig config = tiny_config();
+  config.keep_final_maps = true;
+  const CampaignResult result = CampaignScheduler(config).run(workloads);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_EQ(result.jobs[0].final_probability.rows(), 16);
+  EXPECT_EQ(result.jobs[0].final_prediction.rows(), 16);
+}
+
+TEST(CampaignScheduler, RejectsNonOptimizerMethods) {
+  CampaignConfig config = tiny_config();
+  config.method = "essim-monitor";
+  EXPECT_THROW(CampaignScheduler{config}, InvalidArgument);
+  config.method = "no-such-method";
+  EXPECT_THROW(CampaignScheduler{config}, InvalidArgument);
+}
+
+TEST(CampaignScheduler, EmptyCampaignIsANoOp) {
+  const CampaignResult result =
+      CampaignScheduler(tiny_config()).run({});
+  EXPECT_TRUE(result.jobs.empty());
+  EXPECT_EQ(result.jobs_per_second(), 0.0);
+  EXPECT_EQ(result.mean_quality(), 0.0);
+}
+
+TEST(CampaignReport, JsonlHasOneLinePerJobWithErrors) {
+  auto workloads = tiny_workloads();
+  workloads[2].truth_config.ignition = {-5, -5};
+  CampaignConfig config = tiny_config();
+  const CampaignResult result = CampaignScheduler(config).run(workloads);
+
+  std::ostringstream out;
+  write_campaign_jsonl(result, out);
+  const std::string text = out.str();
+
+  std::size_t lines = 0;
+  for (const char c : text)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, workloads.size());
+  EXPECT_NE(text.find("\"workload\":\"plains16-steady-center-s0\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"status\":\"failed\""), std::string::npos);
+  EXPECT_NE(text.find("\"error\":"), std::string::npos);
+  EXPECT_NE(text.find("\"os_seconds\":"), std::string::npos);
+  EXPECT_NE(text.find("\"kign\":"), std::string::npos);
+}
+
+TEST(CampaignReport, CsvHasOneRowPerPredictedStep) {
+  const auto workloads = tiny_workloads();
+  const CampaignResult result =
+      CampaignScheduler(tiny_config()).run(workloads);
+
+  std::ostringstream out;
+  write_campaign_csv(result, out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  // Header + 2 predicted steps per succeeded job.
+  EXPECT_EQ(rows, 1 + workloads.size() * 2);
+}
+
+TEST(CampaignReport, SummaryJsonCarriesThroughput) {
+  const CampaignResult result =
+      CampaignScheduler(tiny_config()).run(tiny_workloads());
+  const std::string json = campaign_summary_json(result);
+  EXPECT_NE(json.find("\"jobs\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_per_second\":"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_quality\":"), std::string::npos);
+  const TextTable table = campaign_summary_table(result);
+  EXPECT_EQ(table.row_count(), result.jobs.size());
+}
+
+TEST(CampaignReport, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace essns::service
