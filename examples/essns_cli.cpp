@@ -30,7 +30,7 @@ void print_help() {
       "       essns_cli campaign [flags] [key=value ...]\n\n"
       "single run\n"
       "  keys: workload size method seed generations fitness_threshold\n"
-      "        population offspring workers novelty_k islands\n"
+      "        population offspring workers novelty_k islands cache\n"
       "  methods:");
   for (const auto& m : ess::RunSpec::known_methods())
     std::printf(" %s", m.c_str());
@@ -42,6 +42,9 @@ void print_help() {
       "    --workers N    total simulation-worker budget, split evenly over\n"
       "                   the concurrent jobs (default 1; also valid in\n"
       "                   single-run mode, where it maps to workers=N)\n"
+      "    --cache on|off scenario memoization: duplicate genomes reuse the\n"
+      "                   simulated result (default on; bit-identical either\n"
+      "                   way; also valid in single-run mode)\n"
       "    --catalog F    read a catalog spec (key=value file) instead of\n"
       "                   the built-in default catalog (8 workloads)\n"
       "  campaign keys: method seed generations fitness_threshold population\n"
@@ -99,6 +102,13 @@ double require_double(const char* flag, const std::string& value) {
   return *v;
 }
 
+bool require_on_off(const char* flag, const std::string& value) {
+  if (value == "on") return true;
+  if (value == "off") return false;
+  std::fprintf(stderr, "%s expects on|off, got '%s'\n", flag, value.c_str());
+  std::exit(1);
+}
+
 int run_campaign(int argc, char** argv) {
   service::CampaignConfig config;
   // Catalog files accumulate in flag order; inline catalog keys go after
@@ -116,7 +126,8 @@ int run_campaign(int argc, char** argv) {
       print_help();
       return 0;
     }
-    if (arg == "--jobs" || arg == "--workers" || arg == "--catalog") {
+    if (arg == "--jobs" || arg == "--workers" || arg == "--cache" ||
+        arg == "--catalog") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s expects a value\n", arg.c_str());
         return 1;
@@ -128,6 +139,8 @@ int run_campaign(int argc, char** argv) {
       } else if (arg == "--workers") {
         config.total_workers =
             static_cast<unsigned>(require_positive_int("--workers", value));
+      } else if (arg == "--cache") {
+        config.use_cache = require_on_off("--cache", value);
       } else {
         std::ifstream file(value);
         if (!file) {
@@ -207,9 +220,10 @@ int run_campaign(int argc, char** argv) {
     service::campaign_summary_table(result).print();
     std::printf(
         "%zu/%zu jobs succeeded in %.2fs wall (%.3f jobs/sec, mean quality "
-        "%.3f)\n",
+        "%.3f, cache hit-rate %.2f)\n",
         result.succeeded(), result.jobs.size(), result.wall_seconds,
-        result.jobs_per_second(), result.mean_quality());
+        result.jobs_per_second(), result.mean_quality(),
+        result.cache_hit_rate());
 
     if (jsonl_path != "none") {
       service::write_campaign_jsonl(result, jsonl_path);
@@ -244,6 +258,14 @@ int run_single(int argc, char** argv) {
         return 1;
       }
       config_text << "workers=" << argv[++i] << '\n';
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cache") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--cache expects a value\n");
+        return 1;
+      }
+      config_text << "cache=" << argv[++i] << '\n';
       continue;
     }
     if (argv[i][0] == '@') {

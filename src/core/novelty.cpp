@@ -73,9 +73,112 @@ double novelty_score(const ea::Individual& x,
   return sum / static_cast<double>(kk);
 }
 
+namespace {
+
+/// Fast path for the paper's 1-D fitness distance: sort the reference
+/// fitnesses once, then find each individual's k nearest neighbours with a
+/// two-pointer window around its insertion point. The window distances are
+/// re-sorted ascending before summing, reproducing the generic path's
+/// partial_sort accumulation order bit for bit.
+///
+/// Returns false (leaving pop untouched) when a precondition fails — an
+/// unevaluated individual — so the caller falls back to the generic path,
+/// which raises the same errors the fast path would otherwise skip.
+bool evaluate_novelty_fitness_1d(std::span<ea::Individual> pop,
+                                 std::span<const ea::Individual> reference,
+                                 int k) {
+  if (reference.empty()) {
+    for (ea::Individual& ind : pop) ind.novelty = 0.0;
+    return true;
+  }
+  for (const ea::Individual& ref : reference)
+    if (!ref.evaluated()) return false;
+  for (const ea::Individual& ind : pop)
+    if (!ind.evaluated()) return false;
+
+  const std::size_t ref_count = reference.size();
+  // (fitness, reference index) sorted by fitness; the index recovers the
+  // genome for the self-skip check on exact-fitness ties.
+  std::vector<std::pair<double, std::size_t>> sorted;
+  sorted.reserve(ref_count);
+  for (std::size_t i = 0; i < ref_count; ++i)
+    sorted.emplace_back(reference[i].fitness, i);
+  std::sort(sorted.begin(), sorted.end());
+
+  const ea::Individual* ref_begin = reference.data();
+  const ea::Individual* ref_end = ref_begin + ref_count;
+  std::vector<double> window;
+  for (ea::Individual& x : pop) {
+    const double fx = x.fitness;
+
+    // novelty_score skips exactly one self occurrence: by address when x
+    // lives inside the reference span, else by (fitness, genome) equality.
+    // Every skip candidate has distance 0, so which one is skipped never
+    // changes the distance multiset — only whether one fx entry is removed.
+    const std::less<const ea::Individual*> before;
+    bool skip_self = !before(&x, ref_begin) && before(&x, ref_end);
+    const auto lower = std::lower_bound(
+        sorted.begin(), sorted.end(), std::make_pair(fx, std::size_t{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (!skip_self) {
+      for (auto it = lower; it != sorted.end() && it->first == fx; ++it) {
+        if (reference[it->second].genome == x.genome) {
+          skip_self = true;
+          break;
+        }
+      }
+    }
+
+    std::size_t left = static_cast<std::size_t>(lower - sorted.begin());
+    std::size_t right = left;
+    if (skip_self) ++right;  // drop one exact-fitness entry (distance 0)
+    const std::size_t available = ref_count - (skip_self ? 1 : 0);
+    if (available == 0) {
+      x.novelty = 0.0;
+      continue;
+    }
+    const std::size_t kk =
+        k <= 0 ? available
+               : std::min<std::size_t>(static_cast<std::size_t>(k), available);
+
+    window.clear();
+    while (window.size() < kk) {
+      const bool has_left = left > 0;
+      const bool has_right = right < ref_count;
+      // |fx - f| computed as the same IEEE subtraction magnitude the generic
+      // path's fabs produces.
+      const double left_dist = has_left ? fx - sorted[left - 1].first : 0.0;
+      const double right_dist = has_right ? sorted[right].first - fx : 0.0;
+      if (has_left && (!has_right || left_dist <= right_dist)) {
+        window.push_back(left_dist);
+        --left;
+      } else {
+        window.push_back(right_dist);
+        ++right;
+      }
+    }
+    std::sort(window.begin(), window.end());
+    double sum = 0.0;
+    for (const double d : window) sum += d;
+    x.novelty = sum / static_cast<double>(kk);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_fitness_distance(const BehaviorDistance& dist) {
+  using Fn = double (*)(const ea::Individual&, const ea::Individual&);
+  const Fn* target = dist.target<Fn>();
+  return target != nullptr && *target == &fitness_distance;
+}
+
 void evaluate_novelty(std::span<ea::Individual> pop,
                       std::span<const ea::Individual> reference, int k,
                       const BehaviorDistance& dist) {
+  if (is_fitness_distance(dist) &&
+      evaluate_novelty_fitness_1d(pop, reference, k))
+    return;
   for (ea::Individual& ind : pop)
     ind.novelty = novelty_score(ind, reference, k, dist);
 }

@@ -51,8 +51,19 @@ double novelty_score(const ea::Individual& x,
                      std::span<const ea::Individual> reference, int k,
                      const BehaviorDistance& dist = fitness_distance);
 
+/// True when `dist` wraps the plain fitness_distance function pointer — the
+/// paper's 1-D behaviour distance. evaluate_novelty uses this to dispatch to
+/// the sorted two-pointer fast path.
+bool is_fitness_distance(const BehaviorDistance& dist);
+
 /// Scores every individual of `pop` against `reference` (Algorithm 1,
 /// lines 12-14), writing Individual::novelty in place.
+///
+/// When `dist` is the paper's 1-D fitness distance (Eq. 2) and every
+/// individual involved is evaluated, this runs a fast path: reference
+/// fitnesses are sorted once and each individual is scored with a two-pointer
+/// k-window — O((N+R)·log R) total instead of O(N·R·log k). Scores are
+/// bit-identical to the generic path (tested).
 void evaluate_novelty(std::span<ea::Individual> pop,
                       std::span<const ea::Individual> reference, int k,
                       const BehaviorDistance& dist = fitness_distance);

@@ -88,6 +88,15 @@ RunSpec parse_run_spec(std::istream& in) {
     else if (key == "workers") spec.workers = static_cast<unsigned>(as_int(1));
     else if (key == "novelty_k") spec.novelty_k = as_int(0);
     else if (key == "islands") spec.islands = as_int(1);
+    else if (key == "cache") {
+      if (value == "on" || value == "true" || value == "1")
+        spec.use_cache = true;
+      else if (value == "off" || value == "false" || value == "0")
+        spec.use_cache = false;
+      else
+        throw InvalidArgument("config key 'cache' expects on|off, got: " +
+                              value);
+    }
     else throw InvalidArgument("unknown config key: " + key);
   }
   const auto& methods = RunSpec::known_methods();
@@ -186,6 +195,7 @@ PipelineResult run_spec(const RunSpec& spec) {
   PipelineConfig config;
   config.stop = {spec.generations, spec.fitness_threshold};
   config.workers = spec.workers;
+  config.use_cache = spec.use_cache;
   PredictionPipeline pipeline(workload.environment, truth, config);
   auto optimizer = make_optimizer(spec);
   return pipeline.run(*optimizer, rng);

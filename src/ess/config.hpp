@@ -13,6 +13,7 @@
 //   workers    OS worker threads                  (1)
 //   novelty_k  Eq. (1) neighbourhood              (10)
 //   islands    for the essim methods              (3)
+//   cache      on | off — scenario memoization    (on)
 // Lines starting with '#' and blank lines are ignored.
 #pragma once
 
@@ -39,6 +40,7 @@ struct RunSpec {
   unsigned workers = 1;
   int novelty_k = 10;
   int islands = 3;
+  bool use_cache = true;  ///< scenario memoization (results bit-identical)
 
   /// All method names parse_run_spec accepts.
   static const std::vector<std::string>& known_methods();

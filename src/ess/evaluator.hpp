@@ -61,6 +61,12 @@ class ScenarioEvaluator {
   unsigned workers() const { return service_.workers(); }
   std::size_t simulations_run() const { return service_.simulations_run(); }
 
+  /// Scenario-cache controls and counters (see SimulationService).
+  void set_cache_enabled(bool enabled) { service_.set_cache_enabled(enabled); }
+  bool cache_enabled() const { return service_.cache_enabled(); }
+  std::size_t cache_hits() const { return service_.cache_hits(); }
+  std::size_t cache_misses() const { return service_.cache_misses(); }
+
  private:
   std::vector<double> evaluate_batch(const std::vector<ea::Genome>& genomes);
 

@@ -34,6 +34,33 @@ double jaccard_at(const firelib::IgnitionMap& real_map,
                   double preburned_time) {
   ESSNS_REQUIRE(preburned_time <= time_min,
                 "preburned horizon must not exceed the comparison time");
+  ESSNS_REQUIRE(real_map.rows() == simulated_map.rows() &&
+                    real_map.cols() == simulated_map.cols(),
+                "jaccard maps must share dimensions");
+  // One pass over the two time maps; membership tests replicate burned_mask
+  // (<= threshold) cell for cell, so counts — and the quotient — are
+  // identical to the mask-materializing reference path.
+  std::size_t intersection = 0;
+  std::size_t set_union = 0;
+  const std::size_t n = real_map.size();
+  const double* real = real_map.data();
+  const double* simulated = simulated_map.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (real[i] <= preburned_time) continue;  // preburned before the interval
+    const bool in_real = real[i] <= time_min;
+    const bool in_simulated = simulated[i] <= time_min;
+    intersection += in_real && in_simulated;
+    set_union += in_real || in_simulated;
+  }
+  if (set_union == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(set_union);
+}
+
+double jaccard_at_reference(const firelib::IgnitionMap& real_map,
+                            const firelib::IgnitionMap& simulated_map,
+                            double time_min, double preburned_time) {
+  ESSNS_REQUIRE(preburned_time <= time_min,
+                "preburned horizon must not exceed the comparison time");
   return jaccard(firelib::burned_mask(real_map, time_min),
                  firelib::burned_mask(simulated_map, time_min),
                  firelib::burned_mask(real_map, preburned_time));

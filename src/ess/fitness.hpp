@@ -22,8 +22,19 @@ double jaccard(const Grid<std::uint8_t>& real_burned,
 /// Convenience for ignition-time maps: compares cells ignited by
 /// `time_min`, excluding cells already ignited by `preburned_time` in the
 /// real map (the fire state when the simulation started).
+///
+/// Fused single-pass kernel: Jaccard is computed directly from the two
+/// ignition-time maps with zero allocations — no intermediate burned-mask
+/// grids. Bit-identical to jaccard_at_reference (tested).
 double jaccard_at(const firelib::IgnitionMap& real_map,
                   const firelib::IgnitionMap& simulated_map, double time_min,
                   double preburned_time);
+
+/// Pre-optimization jaccard_at: materializes the three burned_mask grids and
+/// calls jaccard. Kept as the oracle the fused kernel is tested and
+/// benchmarked against.
+double jaccard_at_reference(const firelib::IgnitionMap& real_map,
+                            const firelib::IgnitionMap& simulated_map,
+                            double time_min, double preburned_time);
 
 }  // namespace essns::ess

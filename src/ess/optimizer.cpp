@@ -58,14 +58,16 @@ OptimizationOutcome DeOptimizer::optimize(std::size_t dim,
   const std::size_t elite_share = n - random_share;
   out.solutions.assign(pop.begin(),
                        pop.begin() + static_cast<std::ptrdiff_t>(elite_share));
-  // Remaining slots: uniform draws from the non-elite tail.
+  // Remaining slots: uniform draws without replacement from the non-elite
+  // tail, removing each drawn element by swap-and-pop (O(1) per draw).
   std::vector<ea::Individual> tail(
       pop.begin() + static_cast<std::ptrdiff_t>(elite_share), pop.end());
   while (!tail.empty() && out.solutions.size() < n) {
     const auto pick = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(tail.size()) - 1));
-    out.solutions.push_back(tail[pick]);
-    tail.erase(tail.begin() + static_cast<std::ptrdiff_t>(pick));
+    out.solutions.push_back(std::move(tail[pick]));
+    if (pick + 1 != tail.size()) tail[pick] = std::move(tail.back());
+    tail.pop_back();
   }
   return out;
 }

@@ -28,6 +28,25 @@ std::size_t PipelineResult::total_evaluations() const {
   return sum;
 }
 
+std::size_t PipelineResult::total_cache_hits() const {
+  std::size_t sum = 0;
+  for (const auto& s : steps) sum += s.cache_hits;
+  return sum;
+}
+
+std::size_t PipelineResult::total_cache_misses() const {
+  std::size_t sum = 0;
+  for (const auto& s : steps) sum += s.cache_misses;
+  return sum;
+}
+
+double PipelineResult::cache_hit_rate() const {
+  const std::size_t hits = total_cache_hits();
+  const std::size_t total = hits + total_cache_misses();
+  return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
 PredictionPipeline::PredictionPipeline(const firelib::FireEnvironment& env,
                                        const synth::GroundTruth& truth,
                                        PipelineConfig config)
@@ -44,12 +63,15 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
   result.optimizer_name = optimizer.name();
 
   ScenarioEvaluator evaluator(*env_, config_.workers);
+  evaluator.set_cache_enabled(config_.use_cache);
   const auto& space = firelib::ScenarioSpace::table1();
   const auto& lines = truth_->fire_lines;
 
   // Calibrate on [t_{n-1}, t_n], predict t_{n+1}; n runs to steps()-1.
   for (int n = 1; n + 1 <= truth_->steps(); ++n) {
     Stopwatch watch;
+    const std::size_t cache_hits_before = evaluator.cache_hits();
+    const std::size_t cache_misses_before = evaluator.cache_misses();
     const auto un = static_cast<std::size_t>(n);
     const double t_prev = truth_->time_of(n - 1);
     const double t_now = truth_->time_of(n);
@@ -123,6 +145,8 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
     report.ss_seconds = ss_seconds;
     report.cs_seconds = cs_seconds;
     report.ps_seconds = ps_seconds;
+    report.cache_hits = evaluator.cache_hits() - cache_hits_before;
+    report.cache_misses = evaluator.cache_misses() - cache_misses_before;
     result.steps.push_back(report);
   }
   return result;

@@ -35,6 +35,7 @@ struct PipelineConfig {
   int kign_candidates = 100;         ///< CS threshold grid resolution
   unsigned workers = 1;              ///< OS-Worker count (1 = serial)
   std::size_t max_solution_maps = 64;  ///< cap on maps aggregated by the SS
+  bool use_cache = true;  ///< memoize duplicate scenarios (bit-identical)
 };
 
 /// One predicted step (predicting t_{step} from data through t_{step-1}).
@@ -55,6 +56,11 @@ struct StepReport {
   double ss_seconds = 0.0;  ///< Statistical Stage (batch re-simulation + aggregation)
   double cs_seconds = 0.0;  ///< Calibration Stage (S_Kign threshold search)
   double ps_seconds = 0.0;  ///< Prediction Stage (forward batch + threshold)
+
+  // Scenario-cache activity over the step (all stages that simulate).
+  // Deterministic across worker counts; hits are simulations avoided.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 struct PipelineResult {
@@ -64,6 +70,10 @@ struct PipelineResult {
   double mean_quality() const;
   double total_seconds() const;
   std::size_t total_evaluations() const;
+  std::size_t total_cache_hits() const;
+  std::size_t total_cache_misses() const;
+  /// Hits over hits + misses; 0 when nothing went through the cache.
+  double cache_hit_rate() const;
 };
 
 class PredictionPipeline {

@@ -1,9 +1,62 @@
 #include "ess/simulation_service.hpp"
 
+#include <bit>
+
 #include "common/error.hpp"
 #include "ess/fitness.hpp"
 
 namespace essns::ess {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Content fingerprint of an ignition map (dimensions + cell bit patterns).
+/// Computed once per batch, it guards the cache against pointer reuse.
+std::uint64_t fingerprint(const firelib::IgnitionMap& map) {
+  std::uint64_t hash = kFnvOffset;
+  hash = fnv1a(hash, static_cast<std::uint64_t>(map.rows()));
+  hash = fnv1a(hash, static_cast<std::uint64_t>(map.cols()));
+  const double* data = map.data();
+  for (std::size_t i = 0; i < map.size(); ++i)
+    hash = fnv1a(hash, std::bit_cast<std::uint64_t>(data[i]));
+  return hash;
+}
+
+std::uint64_t param_bits(double value) {
+  return std::bit_cast<std::uint64_t>(value == 0.0 ? 0.0 : value);
+}
+
+}  // namespace
+
+ScenarioKey make_scenario_key(const firelib::Scenario& scenario) {
+  ScenarioKey key;
+  key.bits[0] = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(scenario.model));
+  key.bits[1] = param_bits(scenario.wind_speed);
+  key.bits[2] = param_bits(scenario.wind_dir);
+  key.bits[3] = param_bits(scenario.m1);
+  key.bits[4] = param_bits(scenario.m10);
+  key.bits[5] = param_bits(scenario.m100);
+  key.bits[6] = param_bits(scenario.mherb);
+  key.bits[7] = param_bits(scenario.slope);
+  key.bits[8] = param_bits(scenario.aspect);
+  return key;
+}
+
+std::size_t ScenarioKeyHash::operator()(const ScenarioKey& key) const {
+  std::uint64_t hash = kFnvOffset;
+  for (const std::uint64_t word : key.bits) hash = fnv1a(hash, word);
+  return static_cast<std::size_t>(hash);
+}
 
 SimulationService::SimulationService(const firelib::FireEnvironment& env,
                                      unsigned workers)
@@ -25,6 +78,19 @@ unsigned SimulationService::workers() const {
   return pool_ ? pool_->worker_count() : 1;
 }
 
+void SimulationService::set_cache_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  if (!enabled) {
+    cache_.clear();
+    cache_context_ = CacheContext{};
+  }
+}
+
+void SimulationService::set_reference_kernels(bool reference) {
+  propagator_.set_reference_sweep(reference);
+  reference_fitness_ = reference;
+}
+
 firelib::IgnitionMap SimulationService::simulate(
     const firelib::Scenario& scenario, const firelib::IgnitionMap& start,
     double end_time) {
@@ -43,24 +109,120 @@ SimulationResult SimulationService::run_one(unsigned worker_id,
   SimulationResult result;
   if (req.target) {
     result.fitness =
-        jaccard_at(*req.target, simulated, req.end_time, req.start_time);
+        reference_fitness_
+            ? jaccard_at_reference(*req.target, simulated, req.end_time,
+                                   req.start_time)
+            : jaccard_at(*req.target, simulated, req.end_time, req.start_time);
   }
   if (req.keep_map) result.map = simulated;
   return result;
 }
 
-std::vector<SimulationResult> SimulationService::run_batch(
-    const std::vector<SimulationRequest>& requests) {
-  if (pool_) {
-    std::vector<const SimulationRequest*> tasks;
-    tasks.reserve(requests.size());
-    for (const SimulationRequest& req : requests) tasks.push_back(&req);
-    return pool_->evaluate(tasks);
-  }
+std::vector<SimulationResult> SimulationService::run_batch_uncached(
+    const std::vector<const SimulationRequest*>& requests) {
+  if (pool_) return pool_->evaluate(requests);
   std::vector<SimulationResult> results;
   results.reserve(requests.size());
-  for (const SimulationRequest& req : requests)
-    results.push_back(run_one(0, req));
+  for (const SimulationRequest* req : requests)
+    results.push_back(run_one(0, *req));
+  return results;
+}
+
+std::vector<SimulationResult> SimulationService::run_batch(
+    const std::vector<SimulationRequest>& requests) {
+  if (requests.empty()) return {};
+
+  // The cache applies to homogeneous batches — one (start, target, interval)
+  // shared by every request, which is what fitness_batch / simulate_batch
+  // produce. Mixed batches bypass it.
+  bool homogeneous = cache_enabled_;
+  const SimulationRequest& first = requests.front();
+  for (const SimulationRequest& req : requests) {
+    ESSNS_REQUIRE(req.scenario && req.start,
+                  "request scenario/start must be set");
+    if (req.start != first.start || req.target != first.target ||
+        req.start_time != first.start_time || req.end_time != first.end_time)
+      homogeneous = false;
+  }
+  if (homogeneous) return run_batch_cached(requests);
+
+  std::vector<const SimulationRequest*> tasks;
+  tasks.reserve(requests.size());
+  for (const SimulationRequest& req : requests) tasks.push_back(&req);
+  return run_batch_uncached(tasks);
+}
+
+std::vector<SimulationResult> SimulationService::run_batch_cached(
+    const std::vector<SimulationRequest>& requests) {
+  const SimulationRequest& first = requests.front();
+  CacheContext context;
+  context.start = first.start;
+  context.target = first.target;
+  context.start_time = first.start_time;
+  context.end_time = first.end_time;
+  context.start_fingerprint = fingerprint(*first.start);
+  context.target_fingerprint = first.target ? fingerprint(*first.target) : 0;
+  context.valid = true;
+  if (!(context == cache_context_)) {
+    cache_.clear();
+    cache_context_ = context;
+  }
+
+  // Plan the batch on the master thread: serve what the cache can, collapse
+  // in-batch duplicates onto one scheduled simulation, simulate the rest.
+  constexpr std::size_t kFromCache = static_cast<std::size_t>(-1);
+  std::vector<SimulationResult> results(requests.size());
+  std::vector<std::size_t> slot_of(requests.size(), kFromCache);
+  std::vector<SimulationRequest> scheduled;
+  std::vector<ScenarioKey> scheduled_keys;
+  std::unordered_map<ScenarioKey, std::size_t, ScenarioKeyHash> in_batch;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const SimulationRequest& req = requests[i];
+    const ScenarioKey key = make_scenario_key(*req.scenario);
+    const auto cached = cache_.find(key);
+    const bool satisfied = cached != cache_.end() &&
+                           (!req.target || cached->second.fitness) &&
+                           (!req.keep_map || cached->second.map);
+    if (satisfied) {
+      if (req.target) results[i].fitness = *cached->second.fitness;
+      if (req.keep_map) results[i].map = *cached->second.map;
+      ++cache_hits_;
+      continue;
+    }
+    const auto [it, inserted] = in_batch.try_emplace(key, scheduled.size());
+    if (inserted) {
+      scheduled.push_back(req);
+      scheduled_keys.push_back(key);
+      ++cache_misses_;
+    } else {
+      // A duplicate widens the scheduled request rather than re-simulating.
+      scheduled[it->second].keep_map |= req.keep_map;
+      ++cache_hits_;
+    }
+    slot_of[i] = it->second;
+  }
+
+  std::vector<const SimulationRequest*> tasks;
+  tasks.reserve(scheduled.size());
+  for (const SimulationRequest& req : scheduled) tasks.push_back(&req);
+  std::vector<SimulationResult> simulated = run_batch_uncached(tasks);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (slot_of[i] == kFromCache) continue;
+    const SimulationRequest& req = requests[i];
+    const SimulationResult& sim = simulated[slot_of[i]];
+    if (req.target) results[i].fitness = sim.fitness;
+    if (req.keep_map) results[i].map = sim.map;
+  }
+  for (std::size_t slot = 0; slot < scheduled.size(); ++slot) {
+    const ScenarioKey& key = scheduled_keys[slot];
+    const bool known = cache_.count(key) != 0;
+    if (!known && cache_.size() >= cache_capacity_) continue;
+    CacheEntry& entry = cache_[key];
+    if (scheduled[slot].target) entry.fitness = simulated[slot].fitness;
+    if (scheduled[slot].keep_map && !entry.map)
+      entry.map = std::move(simulated[slot].map);
+  }
   return results;
 }
 

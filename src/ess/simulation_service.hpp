@@ -14,10 +14,21 @@
 // in request order, and each simulation is a deterministic function of its
 // inputs — so results are bit-identical across worker counts (workers == 1
 // runs inline on the calling thread).
+// Scenario cache: duplicate genomes are common under GA crossover/elitism,
+// and re-simulating a byte-identical scenario over the same interval from the
+// same fire state is pure waste. run_batch memoizes results keyed by the
+// scenario's parameter bytes, scoped to a (start map, target map, interval)
+// context; a context change (e.g. the next prediction step) clears the cache.
+// All cache bookkeeping happens on the master thread at batch-assembly time,
+// so hit/miss counts and results are deterministic at every worker count.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "firelib/environment.hpp"
@@ -45,6 +56,19 @@ struct SimulationResult {
   double fitness = 0.0;      ///< 0 when the request had no target
 };
 
+/// Byte-exact memoization key: the bit patterns of the nine Table I
+/// parameters (negative zeros normalized so -0.0 and +0.0 share an entry).
+struct ScenarioKey {
+  std::array<std::uint64_t, 9> bits{};
+  friend bool operator==(const ScenarioKey&, const ScenarioKey&) = default;
+};
+
+ScenarioKey make_scenario_key(const firelib::Scenario& scenario);
+
+struct ScenarioKeyHash {
+  std::size_t operator()(const ScenarioKey& key) const;
+};
+
 class SimulationService {
  public:
   /// workers == 1: every call runs inline on the calling thread.
@@ -58,6 +82,22 @@ class SimulationService {
 
   unsigned workers() const;
   std::size_t simulations_run() const { return simulations_.load(); }
+
+  /// Toggle the scenario cache (on by default). Results are bit-identical
+  /// either way; off trades CPU for zero memoization memory.
+  void set_cache_enabled(bool enabled);
+  bool cache_enabled() const { return cache_enabled_; }
+
+  /// Batch requests served from the cache / satisfied by an in-batch
+  /// duplicate, vs actually simulated. Deterministic across worker counts
+  /// (cache decisions happen on the master thread).
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t cache_misses() const { return cache_misses_; }
+
+  /// Run both kernels as before this PR's hot-path overhaul: reference
+  /// Dijkstra sweep (per-pop behavior + trig) and mask-materializing
+  /// Eq. (3). For equivalence tests and bench_hotpath baselines.
+  void set_reference_kernels(bool reference);
 
   /// One simulation on the calling thread (master workspace).
   firelib::IgnitionMap simulate(const firelib::Scenario& scenario,
@@ -82,7 +122,33 @@ class SimulationService {
       double start_time, double end_time);
 
  private:
+  /// What a cached scenario can answer so far; fields fill in lazily (a
+  /// fitness-only request stores no map, a later keep_map miss adds one).
+  struct CacheEntry {
+    std::optional<double> fitness;
+    std::optional<firelib::IgnitionMap> map;
+  };
+
+  /// The interval the cache is currently valid for. Pointer identity plus a
+  /// content fingerprint of both maps, so in-place mutation behind a reused
+  /// pointer invalidates instead of serving stale results.
+  struct CacheContext {
+    const firelib::IgnitionMap* start = nullptr;
+    const firelib::IgnitionMap* target = nullptr;
+    double start_time = 0.0;
+    double end_time = 0.0;
+    std::uint64_t start_fingerprint = 0;
+    std::uint64_t target_fingerprint = 0;
+    bool valid = false;
+
+    friend bool operator==(const CacheContext&, const CacheContext&) = default;
+  };
+
   SimulationResult run_one(unsigned worker_id, const SimulationRequest& req);
+  std::vector<SimulationResult> run_batch_uncached(
+      const std::vector<const SimulationRequest*>& requests);
+  std::vector<SimulationResult> run_batch_cached(
+      const std::vector<SimulationRequest>& requests);
 
   const firelib::FireEnvironment* env_;
   firelib::FireSpreadModel spread_model_;
@@ -94,6 +160,17 @@ class SimulationService {
   std::unique_ptr<parallel::MasterWorker<const SimulationRequest*,
                                          SimulationResult>>
       pool_;
+
+  bool cache_enabled_ = true;
+  bool reference_fitness_ = false;
+  std::unordered_map<ScenarioKey, CacheEntry, ScenarioKeyHash> cache_;
+  CacheContext cache_context_;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
+  /// Insertion stops (entries are kept) once the cache holds this many
+  /// scenarios; contexts are short-lived, so this is a memory backstop, not
+  /// an eviction policy.
+  std::size_t cache_capacity_ = 1 << 16;
 };
 
 }  // namespace essns::ess

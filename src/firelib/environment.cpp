@@ -13,6 +13,11 @@ FireEnvironment::FireEnvironment(int rows, int cols, double cell_size_ft)
 void FireEnvironment::set_fuel_map(Grid<std::uint8_t> fuel) {
   ESSNS_REQUIRE(fuel.rows() == rows_ && fuel.cols() == cols_,
                 "fuel map dimensions must match environment");
+  // The propagator indexes fixed 14-entry per-model tables (0 = unburnable,
+  // 1..13 the standard catalog); reject codes outside that range here so an
+  // invalid mosaic cannot become an out-of-bounds read in the sweep.
+  for (const std::uint8_t code : fuel)
+    ESSNS_REQUIRE(code <= 13, "fuel map codes must be 0 (unburnable) .. 13");
   fuel_ = std::move(fuel);
 }
 

@@ -39,6 +39,12 @@ class FireEnvironment {
     return fuel_ ? static_cast<int>((*fuel_)(r, c)) : scenario.model;
   }
 
+  /// The per-cell fuel grid, or nullptr for scenario-uniform fuels. Hot loops
+  /// read its data() directly instead of probing fuel_model_at per neighbour.
+  const Grid<std::uint8_t>* fuel_map() const {
+    return fuel_ ? &*fuel_ : nullptr;
+  }
+
   double slope_deg_at(int r, int c, const Scenario& scenario) const {
     return slope_ ? (*slope_)(r, c) : scenario.slope;
   }

@@ -28,7 +28,11 @@ Grid<std::uint8_t> burned_mask(const IgnitionMap& map, double time_min) {
 }
 
 std::size_t burned_count(const IgnitionMap& map, double time_min) {
-  return map.count_if([time_min](double t) { return t <= time_min; });
+  std::size_t count = 0;
+  const double* t = map.data();
+  const std::size_t n = map.size();
+  for (std::size_t i = 0; i < n; ++i) count += t[i] <= time_min;
+  return count;
 }
 
 FirePropagator::FirePropagator(const FireSpreadModel& model) : model_(&model) {}
@@ -95,34 +99,12 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
   };
   const double wind_fpm = units::mph_to_ft_per_min(scenario.wind_speed);
 
-  // Fire behavior per cell. With uniform topography the behavior depends
-  // only on the fuel model, so the workspace's 14-entry cache covers the
-  // whole map; with a DEM each cell may differ, so compute per cell.
-  const bool uniform = !env.has_topography();
-  workspace.by_model_ready_.fill(false);
-  auto behavior_at = [&](int r, int c) -> FireBehavior {
-    const int fuel = env.fuel_model_at(r, c, scenario);
-    if (fuel <= 0) return FireBehavior{};  // unburnable
-    if (uniform) {
-      auto idx = static_cast<std::size_t>(fuel);
-      if (!workspace.by_model_ready_[idx]) {
-        WindSlope ws{wind_fpm, scenario.wind_dir,
-                     units::slope_degrees_to_ratio(scenario.slope),
-                     std::fmod(scenario.aspect + 180.0, 360.0)};
-        workspace.by_model_[idx] = model_->behavior(fuel, moisture, ws);
-        workspace.by_model_ready_[idx] = true;
-      }
-      return workspace.by_model_[idx];
-    }
-    WindSlope ws{wind_fpm, scenario.wind_dir,
-                 units::slope_degrees_to_ratio(env.slope_deg_at(r, c, scenario)),
-                 std::fmod(env.aspect_deg_at(r, c, scenario) + 180.0, 360.0)};
-    return model_->behavior(fuel, moisture, ws);
-  };
-
   IgnitionMap& times = workspace.times_;
   auto& heap = workspace.heap_;
   heap.clear();
+  // In steady state every cell contributes at most a handful of heap entries;
+  // map-size capacity absorbs the common case without regrowth.
+  if (heap.capacity() < times.size()) heap.reserve(times.size());
   // Same min-heap std::priority_queue maintains, with the storage reused.
   using Entry = PropagationWorkspace::HeapEntry;
   const auto later = [](const Entry& a, const Entry& b) {
@@ -144,39 +126,185 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
   }
 
   const double cell_ft = env.cell_size_ft();
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), later);
-    const Entry top = heap.back();
-    heap.pop_back();
-    const CellIndex cell = times.cell_of(top.cell);
-    if (top.time > times(cell)) continue;  // stale entry
-    if (top.time > horizon_min) break;     // everything later is out of horizon
+  const bool uniform = !env.has_topography();
+  const int rows = times.rows();
+  const int cols = times.cols();
+  double* t = times.data();
+  const Grid<std::uint8_t>* fuel_map = env.fuel_map();
+  const std::uint8_t* fuel = fuel_map ? fuel_map->data() : nullptr;
+  // Travel distance toward 8-neighbour k (even k: edge, odd k: diagonal).
+  std::array<double, 8> step_ft;
+  for (std::size_t k = 0; k < 8; ++k)
+    step_ft[k] = (k % 2 == 0) ? cell_ft : cell_ft * kSqrt2;
 
-    const FireBehavior behavior = behavior_at(cell.row, cell.col);
-    if (behavior.spread_rate_max <= 0.0) continue;
+  if (reference_sweep_) {
+    // Pre-optimization inner loop: fire behavior and elliptical spread-rate
+    // trig evaluated per popped cell. Kept as the bit-identical oracle the
+    // fast paths are tested and benchmarked against.
+    workspace.by_model_ready_.fill(false);
+    auto behavior_at = [&](int r, int c) -> FireBehavior {
+      const int cell_fuel = env.fuel_model_at(r, c, scenario);
+      if (cell_fuel <= 0) return FireBehavior{};  // unburnable
+      if (uniform) {
+        auto idx = static_cast<std::size_t>(cell_fuel);
+        if (!workspace.by_model_ready_[idx]) {
+          WindSlope ws{wind_fpm, scenario.wind_dir,
+                       units::slope_degrees_to_ratio(scenario.slope),
+                       std::fmod(scenario.aspect + 180.0, 360.0)};
+          workspace.by_model_[idx] = model_->behavior(cell_fuel, moisture, ws);
+          workspace.by_model_ready_[idx] = true;
+        }
+        return workspace.by_model_[idx];
+      }
+      WindSlope ws{
+          wind_fpm, scenario.wind_dir,
+          units::slope_degrees_to_ratio(env.slope_deg_at(r, c, scenario)),
+          std::fmod(env.aspect_deg_at(r, c, scenario) + 180.0, 360.0)};
+      return model_->behavior(cell_fuel, moisture, ws);
+    };
 
-    for (std::size_t k = 0; k < kEightNeighbours.size(); ++k) {
-      const int nr = cell.row + kEightNeighbours[k].row;
-      const int nc = cell.col + kEightNeighbours[k].col;
-      if (!times.in_bounds(nr, nc)) continue;
-      if (env.fuel_model_at(nr, nc, scenario) <= 0) continue;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      const Entry top = heap.back();
+      heap.pop_back();
+      const CellIndex cell = times.cell_of(top.cell);
+      if (top.time > times(cell)) continue;  // stale entry
+      if (top.time > horizon_min) break;  // everything later is out of horizon
 
-      const double rate = behavior.spread_rate_at(kNeighbourAzimuth[k]);
-      if (rate <= 0.0) continue;
-      const double dist = (k % 2 == 0) ? cell_ft : cell_ft * kSqrt2;
-      const double arrival = top.time + dist / rate;
-      if (arrival < times(nr, nc) && arrival <= horizon_min) {
-        times(nr, nc) = arrival;
-        heap_push(arrival, times.index_of(nr, nc));
+      const FireBehavior behavior = behavior_at(cell.row, cell.col);
+      if (behavior.spread_rate_max <= 0.0) continue;
+
+      for (std::size_t k = 0; k < kEightNeighbours.size(); ++k) {
+        const int nr = cell.row + kEightNeighbours[k].row;
+        const int nc = cell.col + kEightNeighbours[k].col;
+        if (!times.in_bounds(nr, nc)) continue;
+        if (env.fuel_model_at(nr, nc, scenario) <= 0) continue;
+
+        const double rate = behavior.spread_rate_at(kNeighbourAzimuth[k]);
+        if (rate <= 0.0) continue;
+        const double arrival = top.time + step_ft[k] / rate;
+        if (arrival < times(nr, nc) && arrival <= horizon_min) {
+          times(nr, nc) = arrival;
+          heap_push(arrival, times.index_of(nr, nc));
+        }
+      }
+    }
+  } else if (uniform) {
+    // Fast path, uniform topography: behavior depends only on the fuel
+    // model, so each model's eight directional travel times are computed
+    // once per sweep and the inner loop is pure table lookups —
+    // arrival = top.time + travel_time[fuel][k]. A direction the model does
+    // not spread toward holds kNeverIgnited, which no finite horizon admits.
+    workspace.by_model_ready_.fill(false);
+    auto travel_row = [&](int cell_fuel) -> const std::array<double, 8>* {
+      if (cell_fuel <= 0) return nullptr;
+      auto idx = static_cast<std::size_t>(cell_fuel);
+      if (!workspace.by_model_ready_[idx]) {
+        WindSlope ws{wind_fpm, scenario.wind_dir,
+                     units::slope_degrees_to_ratio(scenario.slope),
+                     std::fmod(scenario.aspect + 180.0, 360.0)};
+        workspace.by_model_[idx] = model_->behavior(cell_fuel, moisture, ws);
+        for (std::size_t k = 0; k < 8; ++k) {
+          const double rate =
+              workspace.by_model_[idx].spread_rate_at(kNeighbourAzimuth[k]);
+          workspace.travel_time_[idx][k] =
+              rate > 0.0 ? step_ft[k] / rate : kNeverIgnited;
+        }
+        workspace.by_model_ready_[idx] = true;
+      }
+      if (workspace.by_model_[idx].spread_rate_max <= 0.0) return nullptr;
+      return &workspace.travel_time_[idx];
+    };
+
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      const Entry top = heap.back();
+      heap.pop_back();
+      if (top.time > t[top.cell]) continue;  // stale entry
+      if (top.time > horizon_min) break;  // everything later is out of horizon
+
+      const int r = static_cast<int>(top.cell / static_cast<std::size_t>(cols));
+      const int c = static_cast<int>(top.cell % static_cast<std::size_t>(cols));
+      const auto* tt = travel_row(fuel ? static_cast<int>(fuel[top.cell])
+                                       : scenario.model);
+      if (!tt) continue;
+
+      for (std::size_t k = 0; k < kEightNeighbours.size(); ++k) {
+        const int nr = r + kEightNeighbours[k].row;
+        const int nc = c + kEightNeighbours[k].col;
+        if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+        const std::size_t nidx = static_cast<std::size_t>(nr) *
+                                     static_cast<std::size_t>(cols) +
+                                 static_cast<std::size_t>(nc);
+        // Without a fuel map every cell shares the (burnable, or travel_row
+        // would have bailed) scenario model — no per-neighbour probe needed.
+        if (fuel && fuel[nidx] == 0) continue;
+        const double arrival = top.time + (*tt)[k];
+        if (arrival < t[nidx] && arrival <= horizon_min) {
+          t[nidx] = arrival;
+          heap_push(arrival, nidx);
+        }
+      }
+    }
+  } else {
+    // Fast path, per-cell topography: behavior may differ per cell, so it is
+    // computed at most once per cell per sweep into the workspace's per-cell
+    // field; fuel probes read the flat fuel array directly.
+    if (workspace.cell_behavior_.size() != times.size())
+      workspace.cell_behavior_.resize(times.size());
+    workspace.cell_behavior_ready_.assign(times.size(), 0);
+    FireBehavior* cell_behavior = workspace.cell_behavior_.data();
+    std::uint8_t* behavior_ready = workspace.cell_behavior_ready_.data();
+
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      const Entry top = heap.back();
+      heap.pop_back();
+      if (top.time > t[top.cell]) continue;  // stale entry
+      if (top.time > horizon_min) break;  // everything later is out of horizon
+
+      const int r = static_cast<int>(top.cell / static_cast<std::size_t>(cols));
+      const int c = static_cast<int>(top.cell % static_cast<std::size_t>(cols));
+      if (!behavior_ready[top.cell]) {
+        const int cell_fuel =
+            fuel ? static_cast<int>(fuel[top.cell]) : scenario.model;
+        if (cell_fuel <= 0) {
+          cell_behavior[top.cell] = FireBehavior{};  // unburnable
+        } else {
+          WindSlope ws{
+              wind_fpm, scenario.wind_dir,
+              units::slope_degrees_to_ratio(env.slope_deg_at(r, c, scenario)),
+              std::fmod(env.aspect_deg_at(r, c, scenario) + 180.0, 360.0)};
+          cell_behavior[top.cell] = model_->behavior(cell_fuel, moisture, ws);
+        }
+        behavior_ready[top.cell] = 1;
+      }
+      const FireBehavior& behavior = cell_behavior[top.cell];
+      if (behavior.spread_rate_max <= 0.0) continue;
+
+      for (std::size_t k = 0; k < kEightNeighbours.size(); ++k) {
+        const int nr = r + kEightNeighbours[k].row;
+        const int nc = c + kEightNeighbours[k].col;
+        if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+        const std::size_t nidx = static_cast<std::size_t>(nr) *
+                                     static_cast<std::size_t>(cols) +
+                                 static_cast<std::size_t>(nc);
+        if (fuel ? fuel[nidx] == 0 : scenario.model <= 0) continue;
+        const double rate = behavior.spread_rate_at(kNeighbourAzimuth[k]);
+        if (rate <= 0.0) continue;
+        const double arrival = top.time + step_ft[k] / rate;
+        if (arrival < t[nidx] && arrival <= horizon_min) {
+          t[nidx] = arrival;
+          heap_push(arrival, nidx);
+        }
       }
     }
   }
-  heap.clear();
 
   // Clamp: anything beyond the horizon is reported as never ignited, matching
   // the simulator contract ("time instant of ignition ... or zero otherwise").
-  for (double& t : times)
-    if (t > horizon_min) t = kNeverIgnited;
+  for (double& time : times)
+    if (time > horizon_min) time = kNeverIgnited;
 }
 
 }  // namespace essns::firelib

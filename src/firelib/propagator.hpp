@@ -29,11 +29,20 @@ Grid<std::uint8_t> burned_mask(const IgnitionMap& map, double time_min);
 std::size_t burned_count(const IgnitionMap& map, double time_min);
 
 /// Reusable per-thread propagation state: the working ignition-time map, the
-/// Dijkstra heap storage, and the per-fuel-model fire-behavior cache. A
+/// Dijkstra heap storage, and the per-sweep precomputed spread-rate fields. A
 /// workspace amortizes all per-call allocations across simulations — each
 /// worker of the batched SimulationService owns one and reuses it for every
 /// simulation it runs. Results are bit-identical to workspace-free calls; a
 /// workspace carries no state between calls other than capacity.
+///
+/// The precomputed fields remove all Rothermel + elliptical spread-rate trig
+/// from the Dijkstra inner loop:
+///  - uniform topography: a 14x8 table of directional travel times per fuel
+///    model (arrival = top.time + travel_time_[fuel][k]), filled lazily the
+///    first time a model is popped in a sweep;
+///  - per-cell topography (DEM runs): a lazily-filled per-cell FireBehavior
+///    field, so repeated pops of a cell reuse its behavior and the
+///    8-neighbour fuel probes are flat array reads.
 class PropagationWorkspace {
  public:
   PropagationWorkspace() = default;
@@ -60,6 +69,12 @@ class PropagationWorkspace {
   std::vector<HeapEntry> heap_;
   std::array<FireBehavior, 14> by_model_{};
   std::array<bool, 14> by_model_ready_{};
+  /// travel_time_[model][k]: minutes to cross to 8-neighbour k for uniform
+  /// topography (kNeverIgnited when the model does not spread that way).
+  std::array<std::array<double, 8>, 14> travel_time_{};
+  /// DEM runs: per-cell behavior cache, valid where cell_behavior_ready_.
+  std::vector<FireBehavior> cell_behavior_;
+  std::vector<std::uint8_t> cell_behavior_ready_;
 };
 
 class FirePropagator {
@@ -90,12 +105,20 @@ class FirePropagator {
                                const IgnitionMap& initial, double horizon_min,
                                PropagationWorkspace& workspace) const;
 
+  /// When true, the sweep runs the pre-optimization reference inner loop
+  /// (behavior + spread-rate trig per popped cell) instead of the
+  /// precomputed-field fast path. The two are bit-identical — the reference
+  /// path exists so equivalence tests and bench_hotpath can prove it.
+  void set_reference_sweep(bool reference) { reference_sweep_ = reference; }
+  bool reference_sweep() const { return reference_sweep_; }
+
  private:
   /// Dijkstra sweep over workspace.times_ (already seeded with source times).
   void run_sweep(const FireEnvironment& env, const Scenario& scenario,
                  double horizon_min, PropagationWorkspace& workspace) const;
 
   const FireSpreadModel* model_;
+  bool reference_sweep_ = false;
 };
 
 }  // namespace essns::firelib

@@ -54,6 +54,29 @@ double CampaignResult::jobs_per_second() const {
   return static_cast<double>(jobs.size()) / wall_seconds;
 }
 
+std::size_t CampaignResult::cache_hits() const {
+  std::size_t sum = 0;
+  for (const auto& job : jobs)
+    if (job.status == JobStatus::kSucceeded)
+      sum += job.result.total_cache_hits();
+  return sum;
+}
+
+std::size_t CampaignResult::cache_misses() const {
+  std::size_t sum = 0;
+  for (const auto& job : jobs)
+    if (job.status == JobStatus::kSucceeded)
+      sum += job.result.total_cache_misses();
+  return sum;
+}
+
+double CampaignResult::cache_hit_rate() const {
+  const std::size_t hits = cache_hits();
+  const std::size_t total = hits + cache_misses();
+  return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
 double CampaignResult::mean_quality() const {
   double sum = 0.0;
   std::size_t count = 0;
@@ -101,6 +124,7 @@ JobRecord CampaignScheduler::run_job(const synth::Workload& workload,
     pipeline_config.stop = {config_.generations, config_.fitness_threshold};
     pipeline_config.workers = workers;
     pipeline_config.max_solution_maps = config_.max_solution_maps;
+    pipeline_config.use_cache = config_.use_cache;
     ess::PredictionPipeline pipeline(workload.environment, truth,
                                      pipeline_config);
 

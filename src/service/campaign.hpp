@@ -50,6 +50,8 @@ struct CampaignConfig {
   int novelty_k = 10;
   int islands = 3;
   std::size_t max_solution_maps = 64;
+  /// Per-job scenario memoization (results bit-identical either way).
+  bool use_cache = true;
 
   /// Retain each job's final probability matrix / predicted fire line
   /// (map-export consumers; costs two grids per job).
@@ -86,6 +88,11 @@ struct CampaignResult {
   std::size_t failed() const;
   double jobs_per_second() const;  ///< all jobs over campaign wall-clock
   double mean_quality() const;     ///< over succeeded jobs
+
+  // Scenario-cache activity summed over succeeded jobs.
+  std::size_t cache_hits() const;
+  std::size_t cache_misses() const;
+  double cache_hit_rate() const;  ///< hits / (hits + misses); 0 when idle
 };
 
 class CampaignScheduler {

@@ -63,6 +63,9 @@ void write_campaign_jsonl(const CampaignResult& result, std::ostream& out) {
           << "\""
           << ",\"mean_quality\":" << num(job.result.mean_quality())
           << ",\"evaluations\":" << job.result.total_evaluations()
+          << ",\"cache_hits\":" << job.result.total_cache_hits()
+          << ",\"cache_misses\":" << job.result.total_cache_misses()
+          << ",\"cache_hit_rate\":" << num(job.result.cache_hit_rate())
           << ",\"steps\":[";
       for (std::size_t s = 0; s < job.result.steps.size(); ++s) {
         const auto& step = job.result.steps[s];
@@ -77,6 +80,8 @@ void write_campaign_jsonl(const CampaignResult& result, std::ostream& out) {
             << ",\"ss_seconds\":" << num(step.ss_seconds)
             << ",\"cs_seconds\":" << num(step.cs_seconds)
             << ",\"ps_seconds\":" << num(step.ps_seconds)
+            << ",\"cache_hits\":" << step.cache_hits
+            << ",\"cache_misses\":" << step.cache_misses
             << ",\"elapsed_seconds\":" << num(step.elapsed_seconds) << "}";
       }
       out << "]";
@@ -130,7 +135,10 @@ std::string campaign_summary_json(const CampaignResult& result) {
       << ",\"workers_per_job\":" << result.workers_per_job
       << ",\"wall_seconds\":" << num(result.wall_seconds)
       << ",\"jobs_per_second\":" << num(result.jobs_per_second())
-      << ",\"mean_quality\":" << num(result.mean_quality()) << "}";
+      << ",\"mean_quality\":" << num(result.mean_quality())
+      << ",\"cache_hits\":" << result.cache_hits()
+      << ",\"cache_misses\":" << result.cache_misses()
+      << ",\"cache_hit_rate\":" << num(result.cache_hit_rate()) << "}";
   return out.str();
 }
 

@@ -125,6 +125,86 @@ TEST(EvaluateNoveltyTest, ScoresWholePopulationInPlace) {
   for (const auto& ind : pop) EXPECT_NEAR(ind.novelty, 0.4, 1e-12);
 }
 
+TEST(IsFitnessDistanceTest, DetectsThePlainFunctionPointer) {
+  EXPECT_TRUE(is_fitness_distance(fitness_distance));
+  EXPECT_FALSE(is_fitness_distance(genotypic_distance));
+  // A lambda wrapping the same computation is NOT the fast-path trigger —
+  // tests use this to force the generic path.
+  EXPECT_FALSE(is_fitness_distance(
+      [](const ea::Individual& a, const ea::Individual& b) {
+        return fitness_distance(a, b);
+      }));
+  EXPECT_FALSE(is_fitness_distance(blended_distance(1.0)));
+}
+
+// The 1-D fast path (sorted fitnesses + two-pointer k-window) must reproduce
+// the generic path bit for bit: same multiset of neighbour distances, same
+// ascending accumulation order, same self-skip semantics.
+TEST(EvaluateNoveltyTest, FastPathMatchesGenericBitwise) {
+  const BehaviorDistance generic =
+      [](const ea::Individual& a, const ea::Individual& b) {
+        return fitness_distance(a, b);
+      };
+  Rng rng(314);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t pop_size = 1 + rng.uniform_int(0, 19);
+    const std::size_t extra = rng.uniform_int(0, 29);
+    std::vector<ea::Individual> pop;
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      // Coarse fitness quantization forces plenty of exact ties, the hard
+      // case for the self-skip and window logic.
+      const double fitness =
+          rng.bernoulli(0.5) ? rng.uniform(0.0, 1.0)
+                             : std::floor(rng.uniform(0.0, 5.0)) / 4.0;
+      pop.push_back(make(fitness, {rng.uniform(0.0, 1.0)}));
+    }
+    // Reference = copy of pop (value self-skip applies) plus extras, as
+    // Algorithm 1 builds noveltySet.
+    std::vector<ea::Individual> reference = pop;
+    for (std::size_t i = 0; i < extra; ++i) {
+      const double fitness = rng.bernoulli(0.5)
+                                 ? rng.uniform(0.0, 1.0)
+                                 : std::floor(rng.uniform(0.0, 5.0)) / 4.0;
+      reference.push_back(make(fitness, {rng.uniform(0.0, 1.0)}));
+    }
+    const int k = static_cast<int>(rng.uniform_int(-1, 12));
+
+    std::vector<ea::Individual> fast = pop;
+    std::vector<ea::Individual> slow = pop;
+    evaluate_novelty(fast, reference, k);           // dispatches to fast path
+    evaluate_novelty(slow, reference, k, generic);  // wrapped -> generic
+    for (std::size_t i = 0; i < pop.size(); ++i)
+      ASSERT_EQ(fast[i].novelty, slow[i].novelty)
+          << "trial " << trial << " individual " << i << " k " << k;
+  }
+}
+
+TEST(EvaluateNoveltyTest, FastPathHandlesPopAliasingReference) {
+  // When the caller passes the same storage as pop and reference, the
+  // address-based self-skip must engage in both paths.
+  std::vector<ea::Individual> pop{make(0.1, {0.1}), make(0.5, {0.5}),
+                                  make(0.5, {0.6}), make(0.9, {0.9})};
+  std::vector<ea::Individual> slow = pop;
+  const std::vector<ea::Individual> slow_ref = slow;
+  evaluate_novelty(pop, {pop.data(), pop.size()}, 2);
+  evaluate_novelty(slow, slow_ref, 2,
+                   [](const ea::Individual& a, const ea::Individual& b) {
+                     return fitness_distance(a, b);
+                   });
+  for (std::size_t i = 0; i < pop.size(); ++i)
+    EXPECT_EQ(pop[i].novelty, slow[i].novelty) << i;
+}
+
+TEST(EvaluateNoveltyTest, FastPathFallsBackOnUnevaluated) {
+  // An unevaluated reference individual must still raise through the generic
+  // path instead of being silently skipped by the fast path.
+  std::vector<ea::Individual> pop{make(0.5, {0.5})};
+  std::vector<ea::Individual> reference{make(0.2, {0.2})};
+  reference.push_back({});  // unevaluated
+  reference.back().genome = {0.1};
+  EXPECT_THROW(evaluate_novelty(pop, reference, 2), InvalidArgument);
+}
+
 TEST(EvaluateNoveltyTest, MiddleIndividualLeastNovel) {
   std::vector<ea::Individual> pop{make(0.0, {0.0}), make(0.5, {0.5}),
                                   make(0.55, {0.6}), make(1.0, {1.0})};

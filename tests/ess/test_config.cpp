@@ -28,7 +28,8 @@ TEST(RunSpecTest, ParsesAllKeys) {
       "offspring=20\n"
       "workers=4\n"
       "novelty_k=5\n"
-      "islands=2\n");
+      "islands=2\n"
+      "cache=off\n");
   EXPECT_EQ(spec.workload, "hills");
   EXPECT_EQ(spec.size, 64);
   EXPECT_EQ(spec.method, "essim-de-tuned");
@@ -40,6 +41,16 @@ TEST(RunSpecTest, ParsesAllKeys) {
   EXPECT_EQ(spec.workers, 4u);
   EXPECT_EQ(spec.novelty_k, 5);
   EXPECT_EQ(spec.islands, 2);
+  EXPECT_FALSE(spec.use_cache);
+}
+
+TEST(RunSpecTest, CacheKeyParsesOnOff) {
+  EXPECT_TRUE(parse_run_spec("").use_cache);  // default on
+  EXPECT_TRUE(parse_run_spec("cache=on\n").use_cache);
+  EXPECT_TRUE(parse_run_spec("cache=1\n").use_cache);
+  EXPECT_FALSE(parse_run_spec("cache=off\n").use_cache);
+  EXPECT_FALSE(parse_run_spec("cache=false\n").use_cache);
+  EXPECT_THROW(parse_run_spec("cache=maybe\n"), InvalidArgument);
 }
 
 TEST(RunSpecTest, IgnoresCommentsAndBlankLines) {

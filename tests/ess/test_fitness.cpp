@@ -110,5 +110,35 @@ TEST(JaccardAtTest, RejectsInvertedTimes) {
   EXPECT_THROW(jaccard_at(real, sim, 10.0, 20.0), InvalidArgument);
 }
 
+TEST(JaccardAtTest, RejectsDimensionMismatch) {
+  firelib::IgnitionMap real(2, 2, firelib::kNeverIgnited);
+  firelib::IgnitionMap sim(2, 3, firelib::kNeverIgnited);
+  EXPECT_THROW(jaccard_at(real, sim, 10.0, 0.0), InvalidArgument);
+  EXPECT_THROW(jaccard_at_reference(real, sim, 10.0, 0.0), InvalidArgument);
+}
+
+TEST(JaccardAtTest, FusedKernelMatchesReferenceBitwise) {
+  // Property: the fused single-pass Eq. (3) kernel equals the
+  // mask-materializing reference on randomized maps, times and preburn
+  // horizons — including never-ignited (infinite) cells and exact-boundary
+  // ignition times.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int rows = 2 + static_cast<int>(rng.uniform_int(0, 6));
+    const int cols = 2 + static_cast<int>(rng.uniform_int(0, 6));
+    firelib::IgnitionMap real(rows, cols, firelib::kNeverIgnited);
+    firelib::IgnitionMap sim(rows, cols, firelib::kNeverIgnited);
+    for (double& t : real)
+      if (rng.bernoulli(0.6)) t = rng.uniform(0.0, 100.0);
+    for (double& t : sim)
+      if (rng.bernoulli(0.6)) t = rng.uniform(0.0, 100.0);
+    const double preburned = rng.bernoulli(0.3) ? 0.0 : rng.uniform(0.0, 50.0);
+    const double time = preburned + rng.uniform(0.0, 60.0);
+    const double fused = jaccard_at(real, sim, time, preburned);
+    const double reference = jaccard_at_reference(real, sim, time, preburned);
+    ASSERT_EQ(fused, reference) << "trial " << trial;  // bitwise, not approx
+  }
+}
+
 }  // namespace
 }  // namespace essns::ess

@@ -151,6 +151,67 @@ TEST_F(PipelineTest, SerialAndParallelStepReportsBitIdentical) {
   EXPECT_EQ(ps.last_prediction(), pp.last_prediction());
 }
 
+TEST_F(PipelineTest, CacheOnAndOffGiveBitIdenticalResults) {
+  // The scenario cache is a pure memoization: with a fixed seed, every
+  // numeric outcome must match the uncached pipeline bit for bit, while the
+  // step reports record the cache's activity.
+  core::NsGaConfig ns;
+  ns.population_size = 8;
+  ns.offspring_count = 8;
+  PipelineConfig cached_cfg = config_;
+  cached_cfg.stop = {4, 0.95};
+  cached_cfg.use_cache = true;
+  PipelineConfig uncached_cfg = cached_cfg;
+  uncached_cfg.use_cache = false;
+
+  PredictionPipeline pc(workload_.environment, truth_, cached_cfg);
+  PredictionPipeline pu(workload_.environment, truth_, uncached_cfg);
+  NsGaOptimizer o1(ns), o2(ns);
+  Rng a(13), b(13);
+  const auto rc = pc.run(o1, a);
+  const auto ru = pu.run(o2, b);
+  ASSERT_EQ(rc.steps.size(), ru.steps.size());
+  for (std::size_t i = 0; i < rc.steps.size(); ++i) {
+    EXPECT_EQ(rc.steps[i].kign, ru.steps[i].kign);
+    EXPECT_EQ(rc.steps[i].calibration_fitness,
+              ru.steps[i].calibration_fitness);
+    EXPECT_EQ(rc.steps[i].best_os_fitness, ru.steps[i].best_os_fitness);
+    EXPECT_EQ(rc.steps[i].prediction_quality, ru.steps[i].prediction_quality);
+    // Cache bookkeeping: active when enabled, silent when disabled.
+    EXPECT_GT(rc.steps[i].cache_misses, 0u);
+    EXPECT_EQ(ru.steps[i].cache_hits + ru.steps[i].cache_misses, 0u);
+  }
+  EXPECT_EQ(pc.last_probability(), pu.last_probability());
+  EXPECT_EQ(pc.last_prediction(), pu.last_prediction());
+  EXPECT_EQ(ru.total_cache_hits(), 0u);
+  EXPECT_EQ(ru.cache_hit_rate(), 0.0);
+}
+
+TEST_F(PipelineTest, CacheCountersDeterministicAcrossWorkerCounts) {
+  core::NsGaConfig ns;
+  ns.population_size = 8;
+  ns.offspring_count = 8;
+  PipelineConfig serial_cfg = config_;
+  serial_cfg.stop = {4, 0.95};
+  serial_cfg.workers = 1;
+  PipelineConfig parallel_cfg = serial_cfg;
+  parallel_cfg.workers = 4;
+
+  PredictionPipeline ps(workload_.environment, truth_, serial_cfg);
+  PredictionPipeline pp(workload_.environment, truth_, parallel_cfg);
+  NsGaOptimizer o1(ns), o2(ns);
+  Rng a(14), b(14);
+  const auto rs = ps.run(o1, a);
+  const auto rp = pp.run(o2, b);
+  ASSERT_EQ(rs.steps.size(), rp.steps.size());
+  for (std::size_t i = 0; i < rs.steps.size(); ++i) {
+    EXPECT_EQ(rs.steps[i].cache_hits, rp.steps[i].cache_hits) << i;
+    EXPECT_EQ(rs.steps[i].cache_misses, rp.steps[i].cache_misses) << i;
+  }
+  EXPECT_EQ(rs.total_cache_hits(), rp.total_cache_hits());
+  EXPECT_EQ(rs.total_cache_misses(), rp.total_cache_misses());
+}
+
 TEST_F(PipelineTest, StageTimingsCoverTheStep) {
   PredictionPipeline pipeline(workload_.environment, truth_, config_);
   core::NsGaConfig ns;

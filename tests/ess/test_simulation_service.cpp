@@ -99,6 +99,93 @@ TEST_F(SimulationServiceTest, CountsEverySimulation) {
   EXPECT_EQ(service.simulations_run(), scenarios_.size() + 1);
 }
 
+TEST_F(SimulationServiceTest, CachedFitnessBatchMatchesUncachedBitwise) {
+  // Duplicate-heavy batch: cached vs uncached results must agree bitwise at
+  // every worker count, and the cache decisions (made on the master thread)
+  // must be deterministic across worker counts.
+  std::vector<firelib::Scenario> batch;
+  for (int repeat = 0; repeat < 3; ++repeat)
+    for (const auto& scenario : scenarios_) batch.push_back(scenario);
+
+  SimulationService uncached(workload_.environment, 1);
+  uncached.set_cache_enabled(false);
+  const auto expected = uncached.fitness_batch(
+      batch, truth_.fire_lines[0], truth_.fire_lines[1], 0.0,
+      truth_.step_minutes);
+  EXPECT_EQ(uncached.cache_hits(), 0u);
+  EXPECT_EQ(uncached.cache_misses(), 0u);
+  EXPECT_EQ(uncached.simulations_run(), batch.size());
+
+  for (unsigned workers : {1u, 4u}) {
+    SCOPED_TRACE(workers);
+    SimulationService service(workload_.environment, workers);
+    ASSERT_TRUE(service.cache_enabled());
+    const auto fitness = service.fitness_batch(
+        batch, truth_.fire_lines[0], truth_.fire_lines[1], 0.0,
+        truth_.step_minutes);
+    ASSERT_EQ(fitness.size(), expected.size());
+    for (std::size_t i = 0; i < fitness.size(); ++i)
+      EXPECT_EQ(fitness[i], expected[i]);  // bitwise, not approximate
+    // 12 unique scenarios simulated once; the other 24 requests hit.
+    EXPECT_EQ(service.cache_misses(), scenarios_.size());
+    EXPECT_EQ(service.cache_hits(), batch.size() - scenarios_.size());
+    EXPECT_EQ(service.simulations_run(), scenarios_.size());
+  }
+}
+
+TEST_F(SimulationServiceTest, CacheHitsAcrossBatchesInSameContext) {
+  SimulationService service(workload_.environment, 1);
+  service.fitness_batch(scenarios_, truth_.fire_lines[0], truth_.fire_lines[1],
+                        0.0, truth_.step_minutes);
+  EXPECT_EQ(service.cache_misses(), scenarios_.size());
+  EXPECT_EQ(service.cache_hits(), 0u);
+  // Second batch over the same interval: pure hits, no new simulations.
+  const auto again = service.fitness_batch(
+      scenarios_, truth_.fire_lines[0], truth_.fire_lines[1], 0.0,
+      truth_.step_minutes);
+  EXPECT_EQ(service.cache_hits(), scenarios_.size());
+  EXPECT_EQ(service.simulations_run(), scenarios_.size());
+  // A different interval is a new context: cache cleared, all misses again.
+  service.fitness_batch(scenarios_, truth_.fire_lines[1], truth_.fire_lines[2],
+                        truth_.step_minutes, 2 * truth_.step_minutes);
+  EXPECT_EQ(service.cache_misses(), 2 * scenarios_.size());
+  (void)again;
+}
+
+TEST_F(SimulationServiceTest, CachedSimulateBatchKeepsMapsBitwise) {
+  std::vector<firelib::Scenario> batch = scenarios_;
+  batch.push_back(scenarios_[0]);  // duplicate
+  batch.push_back(scenarios_[3]);
+
+  SimulationService uncached(workload_.environment, 1);
+  uncached.set_cache_enabled(false);
+  const auto expected = uncached.simulate_batch(batch, truth_.fire_lines[0],
+                                                truth_.step_minutes);
+  SimulationService service(workload_.environment, 1);
+  const auto maps =
+      service.simulate_batch(batch, truth_.fire_lines[0], truth_.step_minutes);
+  ASSERT_EQ(maps.size(), expected.size());
+  for (std::size_t i = 0; i < maps.size(); ++i) EXPECT_EQ(maps[i], expected[i]);
+  EXPECT_EQ(service.cache_hits(), 2u);
+  EXPECT_EQ(service.simulations_run(), scenarios_.size());
+}
+
+TEST_F(SimulationServiceTest, ReferenceKernelsMatchFastKernels) {
+  SimulationService fast(workload_.environment, 1);
+  fast.set_cache_enabled(false);
+  SimulationService reference(workload_.environment, 1);
+  reference.set_cache_enabled(false);
+  reference.set_reference_kernels(true);
+  const auto got = fast.fitness_batch(scenarios_, truth_.fire_lines[0],
+                                      truth_.fire_lines[1], 0.0,
+                                      truth_.step_minutes);
+  const auto want = reference.fitness_batch(scenarios_, truth_.fire_lines[0],
+                                            truth_.fire_lines[1], 0.0,
+                                            truth_.step_minutes);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], want[i]);
+}
+
 TEST_F(SimulationServiceTest, EmptyBatchIsANoOp) {
   SimulationService service(workload_.environment, 2);
   EXPECT_TRUE(service.simulate_batch({}, truth_.fire_lines[0],
