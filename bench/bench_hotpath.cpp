@@ -97,6 +97,10 @@ int main(int argc, char** argv) {
   firelib::FirePropagator fast_propagator(spread_model);
   firelib::FirePropagator reference_propagator(spread_model);
   reference_propagator.set_reference_sweep(true);
+  // The baseline is the pre-optimization sweep exactly as it shipped:
+  // per-pop behavior + trig on the binary heap. (The fast propagator keeps
+  // the default dial queue; bench_sweep isolates heap vs dial.)
+  reference_propagator.set_sweep_queue(firelib::SweepQueue::kHeap);
   firelib::PropagationWorkspace fast_ws, reference_ws;
 
   KernelTiming sweep;
@@ -144,6 +148,7 @@ int main(int argc, char** argv) {
     ess::SimulationService reference_service(workload.environment, 1);
     reference_service.set_cache_enabled(false);
     reference_service.set_reference_kernels(true);
+    reference_service.set_sweep_queue(firelib::SweepQueue::kHeap);
 
     const auto want =
         reference_service.fitness_batch(batch, start, target, 0.0, horizon);

@@ -1,0 +1,194 @@
+// EXP-B6 — sweep-queue benchmark: binary heap vs bucketed dial/calendar
+// queue in the FirePropagator Dijkstra sweep, single threaded, on the two
+// grid shapes that exercise both fast paths:
+//
+//   uniform   plains (travel-time-table inner loop, scenario-uniform fuels);
+//   dem       hills (per-cell behavior field + fuel mosaic).
+//
+// Every timed pair is first checked for bit-identical ignition maps, and the
+// whole default campaign catalog is swept heap-vs-dial as well — any
+// divergence makes the binary exit nonzero, which is how CI enforces the
+// zero-divergence acceptance criterion. Writes BENCH_sweep.json. Plain main
+// on purpose (no Google Benchmark) so the target always builds.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "firelib/propagator.hpp"
+#include "synth/catalog.hpp"
+#include "synth/ground_truth.hpp"
+#include "synth/workloads.hpp"
+
+namespace {
+
+using namespace essns;
+
+struct GridResult {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  double heap_seconds = 0.0;
+  double dial_seconds = 0.0;
+  std::size_t cells_swept = 0;
+  double speedup() const {
+    return dial_seconds > 0.0 ? heap_seconds / dial_seconds : 0.0;
+  }
+  double cells_per_second() const {
+    return dial_seconds > 0.0
+               ? static_cast<double>(cells_swept) / dial_seconds
+               : 0.0;
+  }
+};
+
+/// Time heap vs dial on one workload; counts divergences into `divergences`.
+GridResult bench_grid(const std::string& name, const synth::Workload& workload,
+                      std::size_t scenarios, int rounds,
+                      std::size_t& divergences) {
+  const firelib::FireEnvironment& env = workload.environment;
+  Rng truth_rng(5);
+  const synth::GroundTruth truth = synth::generate_ground_truth(
+      env, workload.truth_config, truth_rng);
+  const firelib::IgnitionMap& start = truth.fire_lines[0];
+  const double horizon = truth.step_minutes;
+
+  const auto& space = firelib::ScenarioSpace::table1();
+  Rng rng(2022);
+  std::vector<firelib::Scenario> batch;
+  for (std::size_t i = 0; i < scenarios; ++i) batch.push_back(space.sample(rng));
+
+  const firelib::FireSpreadModel model;
+  firelib::FirePropagator heap(model);
+  heap.set_sweep_queue(firelib::SweepQueue::kHeap);
+  firelib::FirePropagator dial(model);
+  dial.set_sweep_queue(firelib::SweepQueue::kDial);
+  firelib::PropagationWorkspace heap_ws, dial_ws;
+
+  GridResult result;
+  result.name = name;
+  result.rows = env.rows();
+  result.cols = env.cols();
+
+  // Warm both paths once, checking equivalence per scenario.
+  for (const firelib::Scenario& scenario : batch) {
+    const auto& from_dial = dial.propagate(env, scenario, start, horizon, dial_ws);
+    const auto& from_heap = heap.propagate(env, scenario, start, horizon, heap_ws);
+    if (!(from_dial == from_heap)) ++divergences;
+  }
+
+  Stopwatch watch;
+  for (int round = 0; round < rounds; ++round)
+    for (const firelib::Scenario& scenario : batch)
+      dial.propagate(env, scenario, start, horizon, dial_ws);
+  result.dial_seconds = watch.elapsed_seconds();
+  watch.reset();
+  for (int round = 0; round < rounds; ++round)
+    for (const firelib::Scenario& scenario : batch)
+      heap.propagate(env, scenario, start, horizon, heap_ws);
+  result.heap_seconds = watch.elapsed_seconds();
+  // Map-output throughput (cells of ignition map produced per second), kept
+  // out of either timed loop so the two measurements stay symmetric.
+  result.cells_swept = static_cast<std::size_t>(env.rows()) *
+                       static_cast<std::size_t>(env.cols()) * batch.size() *
+                       static_cast<std::size_t>(rounds);
+  return result;
+}
+
+/// Heap-vs-dial over every workload of the default campaign catalog (the
+/// acceptance sweep): point ignitions, a handful of scenarios each.
+std::size_t check_default_catalog(std::size_t& divergences) {
+  const std::vector<synth::Workload> catalog =
+      synth::generate_catalog(synth::CatalogSpec{});
+  const firelib::FireSpreadModel model;
+  firelib::FirePropagator heap(model);
+  heap.set_sweep_queue(firelib::SweepQueue::kHeap);
+  firelib::FirePropagator dial(model);
+  dial.set_sweep_queue(firelib::SweepQueue::kDial);
+  firelib::PropagationWorkspace heap_ws, dial_ws;
+
+  const auto& space = firelib::ScenarioSpace::table1();
+  Rng rng(7);
+  for (const synth::Workload& workload : catalog) {
+    const firelib::FireEnvironment& env = workload.environment;
+    const std::vector<CellIndex> ignition{{env.rows() / 2, env.cols() / 2}};
+    for (int trial = 0; trial < 3; ++trial) {
+      const firelib::Scenario scenario = space.sample(rng);
+      const double horizon = rng.uniform(30.0, 180.0);
+      const auto& from_dial =
+          dial.propagate(env, scenario, ignition, horizon, dial_ws);
+      const auto& from_heap =
+          heap.propagate(env, scenario, ignition, horizon, heap_ws);
+      if (!(from_dial == from_heap)) ++divergences;
+    }
+  }
+  return catalog.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const int grid = quick ? 48 : 64;
+  const std::size_t scenarios = quick ? 16 : 32;
+  const int rounds = quick ? 30 : 90;
+
+  std::printf("sweep-queue benchmark: heap vs dial, %dx%d grids (%s)\n", grid,
+              grid, quick ? "quick" : "full");
+
+  std::size_t divergences = 0;
+  std::vector<GridResult> results;
+  results.push_back(bench_grid("plains-uniform", synth::make_plains(grid),
+                               scenarios, rounds, divergences));
+  results.push_back(bench_grid("hills-dem", synth::make_hills(grid), scenarios,
+                               rounds, divergences));
+  // Double-edge grid: the regime the dial queue exists for — the heap's
+  // log n grows with the active front, the bucket scan does not.
+  results.push_back(bench_grid("plains-large", synth::make_plains(2 * grid),
+                               scenarios / 2, std::max(1, rounds / 4),
+                               divergences));
+  for (const GridResult& r : results)
+    std::printf("  %-14s %8.3fs heap  %8.3fs dial  %5.2fx  (%.3g cells/sec)\n",
+                r.name.c_str(), r.heap_seconds, r.dial_seconds, r.speedup(),
+                r.cells_per_second());
+
+  const std::size_t catalog_workloads = check_default_catalog(divergences);
+  std::printf("  default catalog: %zu workloads checked, %zu divergences\n",
+              catalog_workloads, divergences);
+  const bool bit_identical = divergences == 0;
+  std::printf("  bit-identical across heap/dial pairs: %s\n",
+              bit_identical ? "true" : "false");
+
+  const char* json_path = "BENCH_sweep.json";
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"sweep\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n  \"grids\": [\n",
+               quick ? "true" : "false");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const GridResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"rows\": %d, \"cols\": %d, "
+                 "\"heap_seconds\": %.6f, \"dial_seconds\": %.6f, "
+                 "\"speedup\": %.4f, \"cells_per_second\": %.1f}%s\n",
+                 r.name.c_str(), r.rows, r.cols, r.heap_seconds,
+                 r.dial_seconds, r.speedup(), r.cells_per_second(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"catalog_workloads_checked\": %zu,\n",
+               catalog_workloads);
+  std::fprintf(out, "  \"divergences\": %zu,\n", divergences);
+  std::fprintf(out, "  \"bit_identical\": %s\n}\n",
+               bit_identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return bit_identical ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Cache-line-aligned storage for the hot structure-of-arrays slabs.
+//
+// The sweep kernels walk flat per-cell arrays (ignition times, fuel codes,
+// epochs, behavior-ready flags); aligning each slab to a cache-line boundary
+// keeps them from sharing lines with unrelated allocations and gives the
+// compiler an aligned base for vectorized fills. AlignedVector is a drop-in
+// std::vector whose buffer is 64-byte aligned; Grid builds on it, so every
+// map in the system is an aligned slab.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace essns {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal C++17 allocator handing out `Alignment`-aligned buffers.
+/// Stateless: all instances are interchangeable, so vector moves and swaps
+/// behave exactly like the default allocator's.
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not be weaker than the type's natural one");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned — the SoA slab type.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace essns

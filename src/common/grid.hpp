@@ -7,8 +7,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <vector>
 
+#include "common/aligned.hpp"
 #include "common/error.hpp"
 
 namespace essns {
@@ -23,8 +23,9 @@ struct CellIndex {
 
 /// Dense row-major 2-D array with bounds-checked accessors.
 ///
-/// Grid is deliberately minimal: contiguous storage (so hot loops can walk
-/// data() linearly), checked at() for API boundaries and unchecked operator()
+/// Grid is deliberately minimal: contiguous cache-line-aligned storage (so
+/// hot loops can walk data() linearly and the sweep's SoA kernels get aligned
+/// slabs for free), checked at() for API boundaries and unchecked operator()
 /// for inner loops (assert-guarded in debug builds).
 template <typename T>
 class Grid {
@@ -100,7 +101,7 @@ class Grid {
 
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<T> data_;
+  AlignedVector<T> data_;
 };
 
 /// The eight neighbourhood offsets used by the fire propagator, ordered

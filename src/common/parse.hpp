@@ -4,18 +4,32 @@
 // synth::parse_catalog_spec, the essns_cli flag handlers) must reject
 // malformed numbers loudly rather than truncate them the way the raw strto*
 // family does. These helpers parse the *whole* string or return nullopt —
-// trailing junk, overflow, and (for the unsigned parser) sign prefixes all
-// fail — leaving the caller to pick its error channel (throw vs exit).
+// leading whitespace (which std::stoi/stod/stoull silently skip before the
+// consumed-character count starts), trailing junk, overflow, hex-float
+// spellings, and (for the unsigned parser) sign prefixes all fail — leaving
+// the caller to pick its error channel (throw vs exit).
 #pragma once
 
+#include <cctype>
 #include <cstdint>
 #include <optional>
 #include <string>
 
 namespace essns {
+namespace detail {
 
-/// Whole-string int, via std::stoi; nullopt on junk or overflow.
+/// std::stoi/stod/stoull skip leading whitespace before `used` starts
+/// counting, so " 42" would pass the whole-string check. Reject it here.
+inline bool has_leading_space(const std::string& text) {
+  return !text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0;
+}
+
+}  // namespace detail
+
+/// Whole-string int, via std::stoi; nullopt on junk, whitespace or overflow.
 inline std::optional<int> parse_int(const std::string& text) {
+  if (text.empty() || detail::has_leading_space(text)) return std::nullopt;
   std::size_t used = 0;
   int v = 0;
   try {
@@ -27,8 +41,13 @@ inline std::optional<int> parse_int(const std::string& text) {
   return v;
 }
 
-/// Whole-string double, via std::stod; nullopt on junk or overflow.
+/// Whole-string double, via std::stod; nullopt on junk, whitespace or
+/// overflow. Hex-float spellings ("0x10", "+0X1p4") are rejected even though
+/// std::stod accepts them — no config surface means base-16 reals.
 inline std::optional<double> parse_double(const std::string& text) {
+  if (text.empty() || detail::has_leading_space(text)) return std::nullopt;
+  for (const char ch : text)
+    if (ch == 'x' || ch == 'X') return std::nullopt;
   std::size_t used = 0;
   double v = 0.0;
   try {
@@ -41,9 +60,10 @@ inline std::optional<double> parse_double(const std::string& text) {
 }
 
 /// Whole-string uint64 (full 64-bit range — seeds round-trip exactly);
-/// nullopt on junk, overflow, or a sign prefix.
+/// nullopt on junk, whitespace, overflow, or a sign prefix.
 inline std::optional<std::uint64_t> parse_uint64(const std::string& text) {
-  if (text.empty() || text.front() == '-' || text.front() == '+')
+  if (text.empty() || detail::has_leading_space(text) || text.front() == '-' ||
+      text.front() == '+')
     return std::nullopt;
   std::size_t used = 0;
   unsigned long long v = 0;

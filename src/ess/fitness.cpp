@@ -1,5 +1,7 @@
 #include "ess/fitness.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace essns::ess {
@@ -32,6 +34,14 @@ double jaccard(const Grid<std::uint8_t>& real_burned,
 double jaccard_at(const firelib::IgnitionMap& real_map,
                   const firelib::IgnitionMap& simulated_map, double time_min,
                   double preburned_time) {
+  // Never-ignited cells hold kNeverIgnited (+inf); a non-finite query time
+  // would count them as burned (inf <= inf) and silently skew Eq. (3). Same
+  // contract as burned_mask/burned_count, so the fused kernel and the
+  // mask-materializing reference below agree on every input.
+  ESSNS_REQUIRE(std::isfinite(time_min),
+                "jaccard comparison time must be finite");
+  ESSNS_REQUIRE(std::isfinite(preburned_time),
+                "jaccard preburned horizon must be finite");
   ESSNS_REQUIRE(preburned_time <= time_min,
                 "preburned horizon must not exceed the comparison time");
   ESSNS_REQUIRE(real_map.rows() == simulated_map.rows() &&
@@ -59,6 +69,10 @@ double jaccard_at(const firelib::IgnitionMap& real_map,
 double jaccard_at_reference(const firelib::IgnitionMap& real_map,
                             const firelib::IgnitionMap& simulated_map,
                             double time_min, double preburned_time) {
+  ESSNS_REQUIRE(std::isfinite(time_min),
+                "jaccard comparison time must be finite");
+  ESSNS_REQUIRE(std::isfinite(preburned_time),
+                "jaccard preburned horizon must be finite");
   ESSNS_REQUIRE(preburned_time <= time_min,
                 "preburned horizon must not exceed the comparison time");
   return jaccard(firelib::burned_mask(real_map, time_min),

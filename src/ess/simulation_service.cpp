@@ -91,6 +91,14 @@ void SimulationService::set_reference_kernels(bool reference) {
   reference_fitness_ = reference;
 }
 
+void SimulationService::set_sweep_queue(firelib::SweepQueue queue) {
+  propagator_.set_sweep_queue(queue);
+}
+
+firelib::SweepQueue SimulationService::sweep_queue() const {
+  return propagator_.sweep_queue();
+}
+
 firelib::IgnitionMap SimulationService::simulate(
     const firelib::Scenario& scenario, const firelib::IgnitionMap& start,
     double end_time) {

@@ -99,6 +99,12 @@ class SimulationService {
   /// Eq. (3). For equivalence tests and bench_hotpath baselines.
   void set_reference_kernels(bool reference);
 
+  /// Select the propagator's sweep-queue discipline (default kDial). Heap
+  /// and dial sweeps are bit-identical; the knob exists so equivalence
+  /// tests and bench_sweep can measure both through the service.
+  void set_sweep_queue(firelib::SweepQueue queue);
+  firelib::SweepQueue sweep_queue() const;
+
   /// One simulation on the calling thread (master workspace).
   firelib::IgnitionMap simulate(const firelib::Scenario& scenario,
                                 const firelib::IgnitionMap& start,

@@ -1,6 +1,7 @@
 #include "firelib/propagator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <utility>
 
@@ -17,9 +18,205 @@ constexpr std::array<double, 8> kNeighbourAzimuth = {
 
 constexpr double kSqrt2 = 1.41421356237309504880;
 
+constexpr std::int32_t kNilEntry = -1;
+
+// ---------------------------------------------------------------------------
+// Sweep queues. Both disciplines expose push(time, cell) + drain(relax) and
+// produce bit-identical ignition maps: the sweep's result is the unique fixed
+// point of t(v) = min over neighbours u of (t(u) + travel(u, v)), and every
+// candidate sum is computed from the same operands in the same order
+// regardless of which queue schedules the relaxations.
+// ---------------------------------------------------------------------------
+
+/// Binary min-heap over (time), the retained PR-3 baseline. Stale entries are
+/// detected by comparing the entry's time against the cell's current time.
+class HeapSweepQueue {
+ public:
+  using Entry = PropagationWorkspace::HeapEntry;
+
+  HeapSweepQueue(std::vector<Entry>& heap, const double* times,
+                 std::size_t cells)
+      : heap_(heap), times_(times) {
+    heap_.clear();
+    // In steady state every cell contributes at most a handful of heap
+    // entries; map-size capacity absorbs the common case without regrowth.
+    if (heap_.capacity() < cells) heap_.reserve(cells);
+  }
+
+  void push(double time, std::size_t cell) {
+    heap_.push_back(Entry{time, cell});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+  }
+
+  template <typename Relax>
+  void drain(double horizon_min, Relax&& relax) {
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), later);
+      const Entry top = heap_.back();
+      heap_.pop_back();
+      if (top.time > times_[top.cell]) continue;  // stale entry
+      if (top.time > horizon_min) break;  // everything later is out of horizon
+      relax(top.time, top.cell, *this);
+    }
+  }
+
+ private:
+  static bool later(const Entry& a, const Entry& b) { return a.time > b.time; }
+
+  std::vector<Entry>& heap_;
+  const double* times_;
+};
+
+/// Bucketed dial/calendar queue over [0, horizon]: pushes append to a
+/// bucket's intrusive chain in O(1); pops scan buckets in time order, sorting
+/// each detached chain by (time, cell) so ties break deterministically.
+/// Staleness is a per-cell epoch check: every push bumps the cell's epoch, so
+/// superseded entries are skipped without any queue surgery. An arrival can
+/// land in the bucket currently being drained (travel time smaller than the
+/// bucket width); the drain loop re-detaches the chain until the bucket is
+/// dry, which is what makes coarse buckets exact rather than approximate.
+class DialSweepQueue {
+ public:
+  using Entry = PropagationWorkspace::DialEntry;
+
+  DialSweepQueue(std::vector<Entry>& entries, std::vector<Entry>& batch,
+                 AlignedVector<std::int32_t>& heads,
+                 AlignedVector<std::uint64_t>& words,
+                 AlignedVector<std::uint32_t>& epochs, bool& dirty,
+                 double horizon_min, std::size_t cells)
+      : entries_(entries), batch_(batch), heads_(heads), words_(words),
+        epochs_(epochs), dirty_(dirty), horizon_(horizon_min) {
+    num_buckets_ = std::clamp<std::size_t>(cells, 64, std::size_t{1} << 16);
+    // Bucket width horizon / num_buckets_; a zero or infinite horizon —
+    // or one so tiny the reciprocal width overflows (0 * inf in bucket_of
+    // would be NaN and casting NaN is UB) — degenerates to a single bucket
+    // (inv_width_ = 0), which stays exact — just without the calendar's
+    // ordering help.
+    const double inv_width =
+        static_cast<double>(num_buckets_) / horizon_min;  // inf when 0
+    inv_width_ =
+        (horizon_min > 0.0 && std::isfinite(inv_width)) ? inv_width : 0.0;
+    // A completed drain leaves every chain head at kNilEntry and every
+    // occupancy bit clear, so the slabs only need (re-)initializing on first
+    // use, growth, or after an aborted sweep — not per sweep.
+    num_words_ = (num_buckets_ + 63) / 64;
+    const bool grew =
+        heads_.size() < num_buckets_ || words_.size() < num_words_;
+    if (grew) {
+      heads_.resize(num_buckets_);
+      words_.resize(num_words_);
+    }
+    if (dirty_ || grew) {
+      std::fill(heads_.begin(), heads_.end(), kNilEntry);
+      std::fill(words_.begin(), words_.end(), 0);
+    }
+    dirty_ = true;  // until drain() completes
+    entries_.clear();
+    // Steady state mirrors the heap: a handful of entries per cell at most.
+    if (entries_.capacity() < cells) entries_.reserve(cells);
+    // Epochs never need clearing: entries do not survive a sweep, so
+    // staleness only ever compares pushes from the same sweep. Arbitrary
+    // carried-over values are a valid starting point.
+    if (epochs_.size() != cells) epochs_.assign(cells, 0);
+    batch_.clear();
+  }
+
+  void push(double time, std::size_t cell) {
+    // Entries beyond the horizon are never expanded — the heap parks them
+    // until its early break, the final clamp erases them either way. Only
+    // pre-seeded initial times can get here (relaxation already guards
+    // arrival <= horizon).
+    if (time > horizon_) return;
+    // The intrusive chains index the arena with int32; entries cannot be
+    // allowed past that (run_sweep's cell-count guard makes this
+    // unreachable in practice — it would take a ~48 GB arena).
+    ESSNS_REQUIRE(entries_.size() <
+                      static_cast<std::size_t>(
+                          std::numeric_limits<std::int32_t>::max()),
+                  "dial queue entry arena exceeds int32 indexing");
+    const std::size_t bucket = bucket_of(time);
+    const std::uint32_t epoch = ++epochs_[cell];
+    entries_.push_back(Entry{time, static_cast<std::uint32_t>(cell), epoch,
+                             heads_[bucket]});
+    heads_[bucket] = static_cast<std::int32_t>(entries_.size()) - 1;
+    words_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+  }
+
+  template <typename Relax>
+  void drain(Relax&& relax) {
+    // Walk occupied buckets in ascending index via the bitmap. Relaxations
+    // only ever push forward in time (equal at worst), so once a word's bits
+    // are exhausted nothing can reappear below the cursor; re-reading the
+    // word picks up same-word pushes, the inner while picks up same-bucket
+    // ones.
+    for (std::size_t w = 0; w < num_words_; ++w) {
+      while (words_[w] != 0) {
+        const std::size_t b =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(words_[w]));
+        drain_bucket(b, relax);
+        words_[w] &= words_[w] - 1;  // clear the lowest set bit (bucket b)
+      }
+    }
+    dirty_ = false;  // every bucket verified empty; skip the next re-fill
+  }
+
+ private:
+  template <typename Relax>
+  void drain_bucket(std::size_t b, Relax& relax) {
+    while (heads_[b] != kNilEntry) {
+      const std::int32_t head = heads_[b];
+      // With ~1 bucket per cell most chains are singletons; relax those
+      // without the batch copy and sort.
+      if (entries_[static_cast<std::size_t>(head)].next == kNilEntry) {
+        heads_[b] = kNilEntry;
+        const Entry entry = entries_[static_cast<std::size_t>(head)];
+        if (entry.epoch == epochs_[entry.cell])
+          relax(entry.time, static_cast<std::size_t>(entry.cell), *this);
+        continue;
+      }
+      batch_.clear();
+      for (std::int32_t i = head; i != kNilEntry;
+           i = entries_[static_cast<std::size_t>(i)].next)
+        batch_.push_back(entries_[static_cast<std::size_t>(i)]);
+      heads_[b] = kNilEntry;
+      // Deterministic tie-break inside the bucket: (time, cell) ascending.
+      // (time, cell) pairs are unique — a cell is only re-pushed on a
+      // strict time decrease — so the order is total.
+      std::sort(batch_.begin(), batch_.end(),
+                [](const Entry& x, const Entry& y) {
+                  return x.time != y.time ? x.time < y.time : x.cell < y.cell;
+                });
+      for (const Entry& entry : batch_) {
+        if (entry.epoch != epochs_[entry.cell]) continue;  // stale entry
+        relax(entry.time, static_cast<std::size_t>(entry.cell), *this);
+      }
+    }
+  }
+
+  std::size_t bucket_of(double time) const {
+    const double scaled = time * inv_width_;
+    if (scaled >= static_cast<double>(num_buckets_)) return num_buckets_ - 1;
+    return static_cast<std::size_t>(scaled);
+  }
+
+  std::vector<Entry>& entries_;
+  std::vector<Entry>& batch_;
+  AlignedVector<std::int32_t>& heads_;
+  AlignedVector<std::uint64_t>& words_;
+  AlignedVector<std::uint32_t>& epochs_;
+  bool& dirty_;
+  double horizon_;
+  double inv_width_ = 0.0;
+  std::size_t num_buckets_ = 1;
+  std::size_t num_words_ = 1;
+};
+
 }  // namespace
 
 Grid<std::uint8_t> burned_mask(const IgnitionMap& map, double time_min) {
+  ESSNS_REQUIRE(std::isfinite(time_min),
+                "burned query time must be finite (never-ignited cells hold "
+                "+inf and would count as burned)");
   Grid<std::uint8_t> mask(map.rows(), map.cols(), 0);
   for (int r = 0; r < map.rows(); ++r)
     for (int c = 0; c < map.cols(); ++c)
@@ -28,6 +225,9 @@ Grid<std::uint8_t> burned_mask(const IgnitionMap& map, double time_min) {
 }
 
 std::size_t burned_count(const IgnitionMap& map, double time_min) {
+  ESSNS_REQUIRE(std::isfinite(time_min),
+                "burned query time must be finite (never-ignited cells hold "
+                "+inf and would count as burned)");
   std::size_t count = 0;
   const double* t = map.data();
   const std::size_t n = map.size();
@@ -100,42 +300,62 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
   const double wind_fpm = units::mph_to_ft_per_min(scenario.wind_speed);
 
   IgnitionMap& times = workspace.times_;
-  auto& heap = workspace.heap_;
-  heap.clear();
-  // In steady state every cell contributes at most a handful of heap entries;
-  // map-size capacity absorbs the common case without regrowth.
-  if (heap.capacity() < times.size()) heap.reserve(times.size());
-  // Same min-heap std::priority_queue maintains, with the storage reused.
-  using Entry = PropagationWorkspace::HeapEntry;
-  const auto later = [](const Entry& a, const Entry& b) {
-    return a.time > b.time;
-  };
-  const auto heap_push = [&](double time, std::size_t cell) {
-    heap.push_back(Entry{time, cell});
-    std::push_heap(heap.begin(), heap.end(), later);
-  };
-
-  for (int r = 0; r < times.rows(); ++r) {
-    for (int c = 0; c < times.cols(); ++c) {
-      const double t = times(r, c);
-      if (t < kNeverIgnited) {
-        ESSNS_REQUIRE(t >= 0.0, "initial ignition times must be non-negative");
-        heap_push(t, times.index_of(r, c));
-      }
-    }
-  }
-
   const double cell_ft = env.cell_size_ft();
   const bool uniform = !env.has_topography();
   const int rows = times.rows();
   const int cols = times.cols();
+  const std::size_t cells = times.size();
   double* t = times.data();
-  const Grid<std::uint8_t>* fuel_map = env.fuel_map();
-  const std::uint8_t* fuel = fuel_map ? fuel_map->data() : nullptr;
   // Travel distance toward 8-neighbour k (even k: edge, odd k: diagonal).
   std::array<double, 8> step_ft;
   for (std::size_t k = 0; k < 8; ++k)
     step_ft[k] = (k % 2 == 0) ? cell_ft : cell_ft * kSqrt2;
+
+  // Fast paths read fuel codes as a flat aligned slab straight from the
+  // environment (every Grid buffer is cache-line aligned) — no per-sweep
+  // copy. The reference path keeps probing the environment per neighbour
+  // (it is the pre-optimization oracle and stays untouched).
+  const Grid<std::uint8_t>* fuel_map = env.fuel_map();
+  const std::uint8_t* fuel =
+      (!reference_sweep_ && fuel_map) ? fuel_map->data() : nullptr;
+
+  // Seed every finite initial time into the queue. The dial queue drops
+  // seeds beyond the horizon at push (the heap parks and never expands
+  // them); the final clamp erases them from the output either way.
+  const auto seed_into = [&](auto& queue) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const double t0 = times(r, c);
+        if (t0 < kNeverIgnited) {
+          ESSNS_REQUIRE(t0 >= 0.0,
+                        "initial ignition times must be non-negative");
+          queue.push(t0, times.index_of(r, c));
+        }
+      }
+    }
+  };
+
+  // Dial entries index cells with 32 bits and the bucket chains index the
+  // entry arena with int32 — seeding alone pushes up to `cells` entries, so
+  // absurdly large maps (> 1G cells) fall back to the heap discipline
+  // rather than risk overflowing the arena index.
+  const bool use_dial =
+      queue_ == SweepQueue::kDial && cells <= (std::size_t{1} << 30);
+
+  const auto sweep_with = [&](auto&& relax) {
+    if (use_dial) {
+      DialSweepQueue queue(workspace.dial_entries_, workspace.dial_batch_,
+                           workspace.bucket_head_, workspace.bucket_bits_,
+                           workspace.cell_epoch_, workspace.dial_dirty_,
+                           horizon_min, cells);
+      seed_into(queue);
+      queue.drain(relax);
+    } else {
+      HeapSweepQueue queue(workspace.heap_, t, cells);
+      seed_into(queue);
+      queue.drain(horizon_min, relax);
+    }
+  };
 
   if (reference_sweep_) {
     // Pre-optimization inner loop: fire behavior and elliptical spread-rate
@@ -163,16 +383,10 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
       return model_->behavior(cell_fuel, moisture, ws);
     };
 
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), later);
-      const Entry top = heap.back();
-      heap.pop_back();
-      const CellIndex cell = times.cell_of(top.cell);
-      if (top.time > times(cell)) continue;  // stale entry
-      if (top.time > horizon_min) break;  // everything later is out of horizon
-
+    sweep_with([&](double time, std::size_t cell_idx, auto& queue) {
+      const CellIndex cell = times.cell_of(cell_idx);
       const FireBehavior behavior = behavior_at(cell.row, cell.col);
-      if (behavior.spread_rate_max <= 0.0) continue;
+      if (behavior.spread_rate_max <= 0.0) return;
 
       for (std::size_t k = 0; k < kEightNeighbours.size(); ++k) {
         const int nr = cell.row + kEightNeighbours[k].row;
@@ -182,13 +396,13 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
 
         const double rate = behavior.spread_rate_at(kNeighbourAzimuth[k]);
         if (rate <= 0.0) continue;
-        const double arrival = top.time + step_ft[k] / rate;
+        const double arrival = time + step_ft[k] / rate;
         if (arrival < times(nr, nc) && arrival <= horizon_min) {
           times(nr, nc) = arrival;
-          heap_push(arrival, times.index_of(nr, nc));
+          queue.push(arrival, times.index_of(nr, nc));
         }
       }
-    }
+    });
   } else if (uniform) {
     // Fast path, uniform topography: behavior depends only on the fuel
     // model, so each model's eight directional travel times are computed
@@ -216,18 +430,12 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
       return &workspace.travel_time_[idx];
     };
 
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), later);
-      const Entry top = heap.back();
-      heap.pop_back();
-      if (top.time > t[top.cell]) continue;  // stale entry
-      if (top.time > horizon_min) break;  // everything later is out of horizon
-
-      const int r = static_cast<int>(top.cell / static_cast<std::size_t>(cols));
-      const int c = static_cast<int>(top.cell % static_cast<std::size_t>(cols));
-      const auto* tt = travel_row(fuel ? static_cast<int>(fuel[top.cell])
+    sweep_with([&](double time, std::size_t cell_idx, auto& queue) {
+      const int r = static_cast<int>(cell_idx / static_cast<std::size_t>(cols));
+      const int c = static_cast<int>(cell_idx % static_cast<std::size_t>(cols));
+      const auto* tt = travel_row(fuel ? static_cast<int>(fuel[cell_idx])
                                        : scenario.model);
-      if (!tt) continue;
+      if (!tt) return;
 
       for (std::size_t k = 0; k < kEightNeighbours.size(); ++k) {
         const int nr = r + kEightNeighbours[k].row;
@@ -239,48 +447,42 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
         // Without a fuel map every cell shares the (burnable, or travel_row
         // would have bailed) scenario model — no per-neighbour probe needed.
         if (fuel && fuel[nidx] == 0) continue;
-        const double arrival = top.time + (*tt)[k];
+        const double arrival = time + (*tt)[k];
         if (arrival < t[nidx] && arrival <= horizon_min) {
           t[nidx] = arrival;
-          heap_push(arrival, nidx);
+          queue.push(arrival, nidx);
         }
       }
-    }
+    });
   } else {
     // Fast path, per-cell topography: behavior may differ per cell, so it is
     // computed at most once per cell per sweep into the workspace's per-cell
-    // field; fuel probes read the flat fuel array directly.
-    if (workspace.cell_behavior_.size() != times.size())
-      workspace.cell_behavior_.resize(times.size());
-    workspace.cell_behavior_ready_.assign(times.size(), 0);
+    // field; fuel probes read the flat SoA slab directly.
+    if (workspace.cell_behavior_.size() != cells)
+      workspace.cell_behavior_.resize(cells);
+    workspace.cell_behavior_ready_.assign(cells, 0);
     FireBehavior* cell_behavior = workspace.cell_behavior_.data();
     std::uint8_t* behavior_ready = workspace.cell_behavior_ready_.data();
 
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), later);
-      const Entry top = heap.back();
-      heap.pop_back();
-      if (top.time > t[top.cell]) continue;  // stale entry
-      if (top.time > horizon_min) break;  // everything later is out of horizon
-
-      const int r = static_cast<int>(top.cell / static_cast<std::size_t>(cols));
-      const int c = static_cast<int>(top.cell % static_cast<std::size_t>(cols));
-      if (!behavior_ready[top.cell]) {
+    sweep_with([&](double time, std::size_t cell_idx, auto& queue) {
+      const int r = static_cast<int>(cell_idx / static_cast<std::size_t>(cols));
+      const int c = static_cast<int>(cell_idx % static_cast<std::size_t>(cols));
+      if (!behavior_ready[cell_idx]) {
         const int cell_fuel =
-            fuel ? static_cast<int>(fuel[top.cell]) : scenario.model;
+            fuel ? static_cast<int>(fuel[cell_idx]) : scenario.model;
         if (cell_fuel <= 0) {
-          cell_behavior[top.cell] = FireBehavior{};  // unburnable
+          cell_behavior[cell_idx] = FireBehavior{};  // unburnable
         } else {
           WindSlope ws{
               wind_fpm, scenario.wind_dir,
               units::slope_degrees_to_ratio(env.slope_deg_at(r, c, scenario)),
               std::fmod(env.aspect_deg_at(r, c, scenario) + 180.0, 360.0)};
-          cell_behavior[top.cell] = model_->behavior(cell_fuel, moisture, ws);
+          cell_behavior[cell_idx] = model_->behavior(cell_fuel, moisture, ws);
         }
-        behavior_ready[top.cell] = 1;
+        behavior_ready[cell_idx] = 1;
       }
-      const FireBehavior& behavior = cell_behavior[top.cell];
-      if (behavior.spread_rate_max <= 0.0) continue;
+      const FireBehavior& behavior = cell_behavior[cell_idx];
+      if (behavior.spread_rate_max <= 0.0) return;
 
       for (std::size_t k = 0; k < kEightNeighbours.size(); ++k) {
         const int nr = r + kEightNeighbours[k].row;
@@ -292,17 +494,18 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
         if (fuel ? fuel[nidx] == 0 : scenario.model <= 0) continue;
         const double rate = behavior.spread_rate_at(kNeighbourAzimuth[k]);
         if (rate <= 0.0) continue;
-        const double arrival = top.time + step_ft[k] / rate;
+        const double arrival = time + step_ft[k] / rate;
         if (arrival < t[nidx] && arrival <= horizon_min) {
           t[nidx] = arrival;
-          heap_push(arrival, nidx);
+          queue.push(arrival, nidx);
         }
       }
-    }
+    });
   }
 
   // Clamp: anything beyond the horizon is reported as never ignited, matching
   // the simulator contract ("time instant of ignition ... or zero otherwise").
+  // This includes pre-seeded initial times greater than the horizon.
   for (double& time : times)
     if (time > horizon_min) time = kNeverIgnited;
 }

@@ -7,9 +7,11 @@
 // kNeverIgnited (+infinity).
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/grid.hpp"
 #include "firelib/environment.hpp"
 #include "firelib/rothermel.hpp"
@@ -23,26 +25,39 @@ using IgnitionMap = Grid<double>;
 inline constexpr double kNeverIgnited = std::numeric_limits<double>::infinity();
 
 /// Binary burned mask of `map` at time `t` (1 = ignited at or before t).
+/// `time_min` must be finite: never-ignited cells hold +infinity, and
+/// `inf <= inf` would silently count them as burned.
 Grid<std::uint8_t> burned_mask(const IgnitionMap& map, double time_min);
 
-/// Number of cells ignited at or before `time_min`.
+/// Number of cells ignited at or before `time_min` (finite, see burned_mask).
 std::size_t burned_count(const IgnitionMap& map, double time_min);
 
+/// Priority-queue discipline of the Dijkstra sweep. Both produce
+/// bit-identical ignition maps (the sweep's fixed point does not depend on
+/// the pop order of equal-time entries); they differ only in cost:
+///  - kHeap: binary heap, O(log n) push/pop — the retained baseline;
+///  - kDial: bucketed dial/calendar queue over [0, horizon], O(1) bucket
+///    scans with per-cell epoch staleness checks — the default.
+enum class SweepQueue { kHeap, kDial };
+
 /// Reusable per-thread propagation state: the working ignition-time map, the
-/// Dijkstra heap storage, and the per-sweep precomputed spread-rate fields. A
-/// workspace amortizes all per-call allocations across simulations — each
-/// worker of the batched SimulationService owns one and reuses it for every
-/// simulation it runs. Results are bit-identical to workspace-free calls; a
-/// workspace carries no state between calls other than capacity.
+/// sweep queue storage (binary heap and dial buckets), and the per-sweep
+/// precomputed spread-rate fields. A workspace amortizes all per-call
+/// allocations across simulations — each worker of the batched
+/// SimulationService owns one and reuses it for every simulation it runs.
+/// Results are bit-identical to workspace-free calls; a workspace carries no
+/// state between calls other than capacity.
 ///
-/// The precomputed fields remove all Rothermel + elliptical spread-rate trig
-/// from the Dijkstra inner loop:
-///  - uniform topography: a 14x8 table of directional travel times per fuel
-///    model (arrival = top.time + travel_time_[fuel][k]), filled lazily the
-///    first time a model is popped in a sweep;
-///  - per-cell topography (DEM runs): a lazily-filled per-cell FireBehavior
-///    field, so repeated pops of a cell reuse its behavior and the
-///    8-neighbour fuel probes are flat array reads.
+/// Hot per-cell state is kept in cache-line-aligned structure-of-arrays
+/// slabs (AlignedVector) so the uniform and DEM fast paths walk contiguous
+/// aligned memory:
+///  - cell_epoch_: per-cell push epoch, the dial queue's staleness check;
+///  - cell_behavior_ / cell_behavior_ready_: DEM runs' lazily-filled
+///    per-cell FireBehavior field;
+///  - travel_time_: 14x8 per-model directional travel times for uniform
+///    topography (arrival = top.time + travel_time_[fuel][k]).
+/// Fuel codes are read as a flat slab too, straight from the environment's
+/// grid (every Grid buffer is cache-line aligned) — no per-sweep copy.
 class PropagationWorkspace {
  public:
   PropagationWorkspace() = default;
@@ -57,24 +72,50 @@ class PropagationWorkspace {
   /// workspace (valid until the next call).
   const IgnitionMap& last_map() const { return times_; }
 
- private:
-  friend class FirePropagator;
-
+  /// Queue entry types (public so the sweep-queue policies in propagator.cpp
+  /// can name them; the storage itself stays private).
   struct HeapEntry {
     double time;
     std::size_t cell;
   };
+  /// Dial-queue arena entry: an intrusive singly-linked bucket chain. An
+  /// entry is current iff its epoch equals cell_epoch_[cell] — every push
+  /// bumps the cell's epoch, so older entries for the cell go stale without
+  /// any heap reordering.
+  struct DialEntry {
+    double time;
+    std::uint32_t cell;
+    std::uint32_t epoch;
+    std::int32_t next;  ///< next entry in the same bucket, -1 terminates
+  };
+
+ private:
+  friend class FirePropagator;
 
   IgnitionMap times_;
+  // Binary-heap queue storage (SweepQueue::kHeap).
   std::vector<HeapEntry> heap_;
+  // Dial queue storage (SweepQueue::kDial): entry arena, per-bucket chain
+  // heads, per-batch sort scratch, and the per-cell epoch slab. A completed
+  // drain leaves every bucket head at nil and the arena is cleared per
+  // sweep, so neither slab is re-initialized on the clean path; dial_dirty_
+  // flags an aborted sweep (exception mid-drain) that must re-fill heads.
+  std::vector<DialEntry> dial_entries_;
+  std::vector<DialEntry> dial_batch_;
+  AlignedVector<std::int32_t> bucket_head_;
+  /// Occupancy bitmap over bucket_head_ (bit b set = bucket b non-empty),
+  /// so drain skips empty buckets 64 at a time instead of probing each.
+  AlignedVector<std::uint64_t> bucket_bits_;
+  AlignedVector<std::uint32_t> cell_epoch_;
+  bool dial_dirty_ = true;
   std::array<FireBehavior, 14> by_model_{};
   std::array<bool, 14> by_model_ready_{};
   /// travel_time_[model][k]: minutes to cross to 8-neighbour k for uniform
   /// topography (kNeverIgnited when the model does not spread that way).
   std::array<std::array<double, 8>, 14> travel_time_{};
   /// DEM runs: per-cell behavior cache, valid where cell_behavior_ready_.
-  std::vector<FireBehavior> cell_behavior_;
-  std::vector<std::uint8_t> cell_behavior_ready_;
+  AlignedVector<FireBehavior> cell_behavior_;
+  AlignedVector<std::uint8_t> cell_behavior_ready_;
 };
 
 class FirePropagator {
@@ -89,6 +130,9 @@ class FirePropagator {
   /// Spread continuing from an existing ignition-time map: every finite cell
   /// of `initial` is a source with its recorded time. This is how a
   /// prediction step simulates forward from the real fire line RFL(t-1).
+  /// Horizon-clamp contract: finite initial times greater than `horizon_min`
+  /// are reported as kNeverIgnited in the output, exactly like cells the
+  /// sweep reaches beyond the horizon.
   IgnitionMap propagate(const FireEnvironment& env, const Scenario& scenario,
                         const IgnitionMap& initial, double horizon_min) const;
 
@@ -112,6 +156,12 @@ class FirePropagator {
   void set_reference_sweep(bool reference) { reference_sweep_ = reference; }
   bool reference_sweep() const { return reference_sweep_; }
 
+  /// Select the sweep's priority-queue discipline (default kDial). Both
+  /// queues are bit-identical on every path (reference / uniform / DEM);
+  /// the knob exists so equivalence tests and bench_sweep can measure both.
+  void set_sweep_queue(SweepQueue queue) { queue_ = queue; }
+  SweepQueue sweep_queue() const { return queue_; }
+
  private:
   /// Dijkstra sweep over workspace.times_ (already seeded with source times).
   void run_sweep(const FireEnvironment& env, const Scenario& scenario,
@@ -119,6 +169,7 @@ class FirePropagator {
 
   const FireSpreadModel* model_;
   bool reference_sweep_ = false;
+  SweepQueue queue_ = SweepQueue::kDial;
 };
 
 }  // namespace essns::firelib

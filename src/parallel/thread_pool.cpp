@@ -3,12 +3,22 @@
 #include <algorithm>
 
 namespace essns::parallel {
+namespace {
+
+/// The pool the current thread works for, or nullptr off-pool. Lets
+/// parallel_for detect re-entrant calls from its own workers: blocking on
+/// futures there deadlocks a fully-busy pool (the waiting worker is exactly
+/// the thread that should run them), so nested calls run inline instead.
+thread_local const ThreadPool* t_worker_of = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   ESSNS_REQUIRE(threads >= 1, "thread pool needs at least one thread");
   threads_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     threads_.emplace_back([this] {
+      t_worker_of = this;
       while (auto task = tasks_.receive()) (*task)();
     });
   }
@@ -22,6 +32,14 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (t_worker_of == this) {
+    // Re-entrant call from one of this pool's own workers: scheduling the
+    // blocks back onto the pool and blocking on their futures can deadlock
+    // (every free worker may be doing the same). Run the loop inline — same
+    // results, caller's thread does the work.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const std::size_t workers =
       std::min<std::size_t>(thread_count(), n);
   const std::size_t block = (n + workers - 1) / workers;

@@ -44,7 +44,9 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n), blocking until all complete. Work is split
   /// into `thread_count()` contiguous blocks. Exceptions propagate (first one
-  /// wins).
+  /// wins). Safe to call from one of this pool's own workers: a nested call
+  /// runs the whole loop inline on the calling worker instead of blocking on
+  /// futures no free worker may ever run (which deadlocked a saturated pool).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   static unsigned default_thread_count() {

@@ -72,6 +72,21 @@ TEST(RunSpecTest, RejectsMalformedLines) {
   EXPECT_THROW(parse_run_spec("size=4"), InvalidArgument);  // below minimum
 }
 
+TEST(RunSpecTest, RejectsStrtolLeniencies) {
+  // The strict parsers must not inherit strtol/strtod leniencies: embedded
+  // whitespace, hex spellings and trailing junk all fail loudly (leading and
+  // trailing whitespace around the value is trimmed by the key=value layer,
+  // which is the documented config-file behavior).
+  EXPECT_THROW(parse_run_spec("generations=1 2\n"), InvalidArgument);
+  EXPECT_THROW(parse_run_spec("generations=0x10\n"), InvalidArgument);
+  EXPECT_THROW(parse_run_spec("generations=12junk\n"), InvalidArgument);
+  EXPECT_THROW(parse_run_spec("fitness_threshold=0x1p2\n"), InvalidArgument);
+  EXPECT_THROW(parse_run_spec("fitness_threshold=1. 5\n"), InvalidArgument);
+  // Trimmed whitespace around a well-formed value still parses.
+  EXPECT_EQ(parse_run_spec("generations= 12 \nmethod=ess-ga\n").generations,
+            12);
+}
+
 TEST(RunSpecTest, KnownMethodsListMatchesFactory) {
   for (const auto& method : RunSpec::known_methods()) {
     RunSpec spec;

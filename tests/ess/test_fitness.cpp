@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace essns::ess {
@@ -108,6 +110,26 @@ TEST(JaccardAtTest, RejectsInvertedTimes) {
   firelib::IgnitionMap real(2, 2, firelib::kNeverIgnited);
   firelib::IgnitionMap sim(2, 2, firelib::kNeverIgnited);
   EXPECT_THROW(jaccard_at(real, sim, 10.0, 20.0), InvalidArgument);
+}
+
+TEST(JaccardAtTest, RejectsNonFiniteTimes) {
+  // At time_min = kNeverIgnited the old kernels counted every never-ignited
+  // cell as burned (inf <= inf) and returned a spuriously perfect score for
+  // two empty maps. Fused and reference kernels now agree: finite times only.
+  firelib::IgnitionMap real(2, 2, firelib::kNeverIgnited);
+  firelib::IgnitionMap sim(2, 2, firelib::kNeverIgnited);
+  real(0, 0) = 1.0;
+  EXPECT_THROW(jaccard_at(real, sim, firelib::kNeverIgnited, 0.0),
+               InvalidArgument);
+  EXPECT_THROW(jaccard_at_reference(real, sim, firelib::kNeverIgnited, 0.0),
+               InvalidArgument);
+  EXPECT_THROW(
+      jaccard_at(real, sim, 10.0, -firelib::kNeverIgnited), InvalidArgument);
+  EXPECT_THROW(jaccard_at_reference(real, sim, 10.0, -firelib::kNeverIgnited),
+               InvalidArgument);
+  EXPECT_THROW(jaccard_at(real, sim, std::nan(""), 0.0), InvalidArgument);
+  EXPECT_THROW(jaccard_at_reference(real, sim, std::nan(""), 0.0),
+               InvalidArgument);
 }
 
 TEST(JaccardAtTest, RejectsDimensionMismatch) {

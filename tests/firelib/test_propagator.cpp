@@ -202,6 +202,22 @@ TEST(BurnedMaskTest, ThresholdsByTime) {
   EXPECT_EQ(burned_count(map, 100.0), 3u);
 }
 
+TEST(BurnedMaskTest, RejectsNonFiniteQueryTime) {
+  // Never-ignited cells hold kNeverIgnited (+inf); a query at a non-finite
+  // time would count them as burned (inf <= inf) and report the whole map on
+  // fire. The contract is a finite query time, enforced loudly.
+  IgnitionMap map(2, 2, kNeverIgnited);
+  map(0, 0) = 5.0;
+  EXPECT_THROW(burned_mask(map, kNeverIgnited), InvalidArgument);
+  EXPECT_THROW(burned_count(map, kNeverIgnited), InvalidArgument);
+  EXPECT_THROW(burned_mask(map, -kNeverIgnited), InvalidArgument);
+  EXPECT_THROW(burned_count(map, -kNeverIgnited), InvalidArgument);
+  EXPECT_THROW(burned_mask(map, std::nan("")), InvalidArgument);
+  EXPECT_THROW(burned_count(map, std::nan("")), InvalidArgument);
+  // Finite queries, however large, stay valid and exclude infinite cells.
+  EXPECT_EQ(burned_count(map, std::numeric_limits<double>::max()), 1u);
+}
+
 TEST_F(PropagatorTest, PerCellTopographyChangesShape) {
   // Same scenario, but a topography layer that slopes everything north
   // should skew the fire north relative to the flat run.

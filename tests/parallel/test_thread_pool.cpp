@@ -87,5 +87,52 @@ TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   EXPECT_GE(ThreadPool::default_thread_count(), 1u);
 }
 
+TEST(ThreadPoolTest, NestedParallelForOnSingleThreadPoolCompletes) {
+  // Regression: a worker calling parallel_for on its own pool used to block
+  // on futures no free worker could ever run — a guaranteed deadlock on a
+  // 1-thread pool. Nested calls now run inline on the calling worker.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  auto outer = pool.submit([&] {
+    pool.parallel_for(8, [&](std::size_t) { ++counter; });
+    return counter.load();
+  });
+  EXPECT_EQ(outer.get(), 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForSaturatedPoolCompletes) {
+  // Every worker re-enters parallel_for at once: with the scheduling path
+  // this deadlocks as soon as all workers block; inline execution cannot.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) { ++counter; });
+  });
+  EXPECT_EQ(counter.load(), 4 * 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesException) {
+  ThreadPool pool(1);
+  auto outer = pool.submit([&] {
+    pool.parallel_for(4, [](std::size_t i) {
+      if (i == 2) throw std::runtime_error("nested");
+    });
+  });
+  EXPECT_THROW(outer.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForFromDifferentPoolStillScatters) {
+  // Only re-entrant calls on the *same* pool run inline; a worker of pool A
+  // driving pool B uses B's workers as usual.
+  ThreadPool outer_pool(1);
+  ThreadPool inner_pool(2);
+  std::atomic<int> counter{0};
+  auto f = outer_pool.submit([&] {
+    inner_pool.parallel_for(10, [&](std::size_t) { ++counter; });
+  });
+  f.get();
+  EXPECT_EQ(counter.load(), 10);
+}
+
 }  // namespace
 }  // namespace essns::parallel

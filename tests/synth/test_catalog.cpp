@@ -186,6 +186,17 @@ TEST(Catalog, ParseRejectsBadInput) {
   EXPECT_THROW(parse_catalog_spec("base_seed=0x2a"), InvalidArgument);
 }
 
+TEST(Catalog, ParseRejectsStrtolLeniencies) {
+  // Embedded whitespace, hex spellings and sign prefixes on unsigned keys
+  // must fail the strict whole-string parsers, not silently truncate.
+  EXPECT_THROW(parse_catalog_spec("sizes=3 2"), InvalidArgument);
+  EXPECT_THROW(parse_catalog_spec("sizes=0x20"), InvalidArgument);
+  EXPECT_THROW(parse_catalog_spec("steps=4x"), InvalidArgument);
+  EXPECT_THROW(parse_catalog_spec("step_minutes=0x10"), InvalidArgument);
+  EXPECT_THROW(parse_catalog_spec("step_minutes=4 5.0"), InvalidArgument);
+  EXPECT_THROW(parse_catalog_spec("base_seed=+7"), InvalidArgument);
+}
+
 TEST(Catalog, ParsePreservesFullWidthSeeds) {
   // Seeds above 2^53 (e.g. copied back from a campaign JSONL) must survive
   // the text round trip exactly.
