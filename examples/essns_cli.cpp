@@ -31,6 +31,7 @@ void print_help() {
       "single run\n"
       "  keys: workload size method seed generations fitness_threshold\n"
       "        population offspring workers novelty_k islands cache\n"
+      "        cache_mem\n"
       "  methods:");
   for (const auto& m : ess::RunSpec::known_methods())
     std::printf(" %s", m.c_str());
@@ -42,9 +43,17 @@ void print_help() {
       "    --workers N    total simulation-worker budget, split evenly over\n"
       "                   the concurrent jobs (default 1; also valid in\n"
       "                   single-run mode, where it maps to workers=N)\n"
-      "    --cache on|off scenario memoization: duplicate genomes reuse the\n"
-      "                   simulated result (default on; bit-identical either\n"
-      "                   way; also valid in single-run mode)\n"
+      "    --cache P      scenario memoization policy (also valid in\n"
+      "                   single-run mode); results are bit-identical under\n"
+      "                   every policy:\n"
+      "                     off     no memoization\n"
+      "                     step    per-step cache, wiped every prediction\n"
+      "                             step (default; legacy spelling: on)\n"
+      "                     shared  one byte-bounded cache kept across steps\n"
+      "                             and shared by all concurrent jobs\n"
+      "    --cache-mem M  shared-cache byte budget in MiB (default 256;\n"
+      "                   entries are charged by stored map bytes and\n"
+      "                   evicted cost-aware when the budget is exceeded)\n"
       "    --catalog F    read a catalog spec (key=value file) instead of\n"
       "                   the built-in default catalog (8 workloads)\n"
       "  campaign keys: method seed generations fitness_threshold population\n"
@@ -102,11 +111,15 @@ double require_double(const char* flag, const std::string& value) {
   return *v;
 }
 
-bool require_on_off(const char* flag, const std::string& value) {
-  if (value == "on") return true;
-  if (value == "off") return false;
-  std::fprintf(stderr, "%s expects on|off, got '%s'\n", flag, value.c_str());
-  std::exit(1);
+cache::CachePolicy require_cache_policy(const char* flag,
+                                        const std::string& value) {
+  const auto policy = cache::parse_cache_policy(value);
+  if (!policy) {
+    std::fprintf(stderr, "%s expects off|step|shared, got '%s'\n", flag,
+                 value.c_str());
+    std::exit(1);
+  }
+  return *policy;
 }
 
 int run_campaign(int argc, char** argv) {
@@ -127,7 +140,7 @@ int run_campaign(int argc, char** argv) {
       return 0;
     }
     if (arg == "--jobs" || arg == "--workers" || arg == "--cache" ||
-        arg == "--catalog") {
+        arg == "--cache-mem" || arg == "--catalog") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s expects a value\n", arg.c_str());
         return 1;
@@ -140,7 +153,12 @@ int run_campaign(int argc, char** argv) {
         config.total_workers =
             static_cast<unsigned>(require_positive_int("--workers", value));
       } else if (arg == "--cache") {
-        config.use_cache = require_on_off("--cache", value);
+        config.cache_policy = require_cache_policy("--cache", value);
+      } else if (arg == "--cache-mem") {
+        config.cache_mem_bytes =
+            static_cast<std::size_t>(
+                require_positive_int("--cache-mem", value))
+            << 20;
       } else {
         std::ifstream file(value);
         if (!file) {
@@ -220,10 +238,12 @@ int run_campaign(int argc, char** argv) {
     service::campaign_summary_table(result).print();
     std::printf(
         "%zu/%zu jobs succeeded in %.2fs wall (%.3f jobs/sec, mean quality "
-        "%.3f, cache hit-rate %.2f)\n",
+        "%.3f)\ncache %s: hit-rate %.2f, %zu evictions, %.1f MiB live\n",
         result.succeeded(), result.jobs.size(), result.wall_seconds,
         result.jobs_per_second(), result.mean_quality(),
-        result.cache_hit_rate());
+        cache::to_string(result.cache_policy), result.cache_hit_rate(),
+        result.cache_evictions(),
+        static_cast<double>(result.cache_bytes()) / (1024.0 * 1024.0));
 
     if (jsonl_path != "none") {
       service::write_campaign_jsonl(result, jsonl_path);
@@ -266,6 +286,14 @@ int run_single(int argc, char** argv) {
         return 1;
       }
       config_text << "cache=" << argv[++i] << '\n';
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cache-mem") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--cache-mem expects a value\n");
+        return 1;
+      }
+      config_text << "cache_mem=" << argv[++i] << '\n';
       continue;
     }
     if (argv[i][0] == '@') {

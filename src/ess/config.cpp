@@ -89,14 +89,14 @@ RunSpec parse_run_spec(std::istream& in) {
     else if (key == "novelty_k") spec.novelty_k = as_int(0);
     else if (key == "islands") spec.islands = as_int(1);
     else if (key == "cache") {
-      if (value == "on" || value == "true" || value == "1")
-        spec.use_cache = true;
-      else if (value == "off" || value == "false" || value == "0")
-        spec.use_cache = false;
-      else
-        throw InvalidArgument("config key 'cache' expects on|off, got: " +
-                              value);
+      const auto policy = cache::parse_cache_policy(value);
+      if (!policy)
+        throw InvalidArgument(
+            "config key 'cache' expects off|step|shared, got: " + value);
+      spec.cache_policy = *policy;
     }
+    else if (key == "cache_mem")
+      spec.cache_mem_mb = static_cast<std::size_t>(as_int(1));
     else throw InvalidArgument("unknown config key: " + key);
   }
   const auto& methods = RunSpec::known_methods();
@@ -195,7 +195,8 @@ PipelineResult run_spec(const RunSpec& spec) {
   PipelineConfig config;
   config.stop = {spec.generations, spec.fitness_threshold};
   config.workers = spec.workers;
-  config.use_cache = spec.use_cache;
+  config.cache_policy = spec.cache_policy;
+  config.cache_mem_bytes = spec.cache_mem_mb << 20;
   PredictionPipeline pipeline(workload.environment, truth, config);
   auto optimizer = make_optimizer(spec);
   return pipeline.run(*optimizer, rng);

@@ -13,7 +13,9 @@
 //   workers    OS worker threads                  (1)
 //   novelty_k  Eq. (1) neighbourhood              (10)
 //   islands    for the essim methods              (3)
-//   cache      on | off — scenario memoization    (on)
+//   cache      off | step | shared — scenario memoization policy (step;
+//              legacy on/off spellings still parse as step/off)
+//   cache_mem  shared-cache byte budget, MiB      (256)
 // Lines starting with '#' and blank lines are ignored.
 #pragma once
 
@@ -22,6 +24,7 @@
 #include <memory>
 #include <string>
 
+#include "cache/scenario_cache.hpp"
 #include "ess/monitor.hpp"
 #include "ess/optimizer.hpp"
 #include "synth/workloads.hpp"
@@ -40,7 +43,9 @@ struct RunSpec {
   unsigned workers = 1;
   int novelty_k = 10;
   int islands = 3;
-  bool use_cache = true;  ///< scenario memoization (results bit-identical)
+  /// Scenario memoization policy (results bit-identical either way).
+  cache::CachePolicy cache_policy = cache::CachePolicy::kStep;
+  std::size_t cache_mem_mb = 256;  ///< shared-cache byte budget (MiB)
 
   /// All method names parse_run_spec accepts.
   static const std::vector<std::string>& known_methods();

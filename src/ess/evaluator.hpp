@@ -62,10 +62,26 @@ class ScenarioEvaluator {
   std::size_t simulations_run() const { return service_.simulations_run(); }
 
   /// Scenario-cache controls and counters (see SimulationService).
+  void set_cache_policy(cache::CachePolicy policy) {
+    service_.set_cache_policy(policy);
+  }
+  cache::CachePolicy cache_policy() const { return service_.cache_policy(); }
   void set_cache_enabled(bool enabled) { service_.set_cache_enabled(enabled); }
   bool cache_enabled() const { return service_.cache_enabled(); }
+  void set_shared_cache(std::shared_ptr<cache::SharedScenarioCache> cache) {
+    service_.set_shared_cache(std::move(cache));
+  }
+  void set_cache_mem_bytes(std::size_t bytes) {
+    service_.set_cache_mem_bytes(bytes);
+  }
   std::size_t cache_hits() const { return service_.cache_hits(); }
   std::size_t cache_misses() const { return service_.cache_misses(); }
+  std::size_t cache_evictions() const { return service_.cache_evictions(); }
+  std::size_t cache_insertions_rejected() const {
+    return service_.cache_insertions_rejected();
+  }
+  std::size_t cache_entries() const { return service_.cache_entries(); }
+  std::size_t cache_bytes() const { return service_.cache_bytes(); }
 
  private:
   std::vector<double> evaluate_batch(const std::vector<ea::Genome>& genomes);

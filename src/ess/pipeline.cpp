@@ -40,6 +40,24 @@ std::size_t PipelineResult::total_cache_misses() const {
   return sum;
 }
 
+std::size_t PipelineResult::total_cache_evictions() const {
+  std::size_t sum = 0;
+  for (const auto& s : steps) sum += s.cache_evictions;
+  return sum;
+}
+
+std::size_t PipelineResult::total_cache_insertions_rejected() const {
+  std::size_t sum = 0;
+  for (const auto& s : steps) sum += s.cache_insertions_rejected;
+  return sum;
+}
+
+std::size_t PipelineResult::max_cache_bytes() const {
+  std::size_t peak = 0;
+  for (const auto& s : steps) peak = std::max(peak, s.cache_bytes);
+  return peak;
+}
+
 double PipelineResult::cache_hit_rate() const {
   const std::size_t hits = total_cache_hits();
   const std::size_t total = hits + total_cache_misses();
@@ -63,7 +81,11 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
   result.optimizer_name = optimizer.name();
 
   ScenarioEvaluator evaluator(*env_, config_.workers);
-  evaluator.set_cache_enabled(config_.use_cache);
+  evaluator.set_cache_policy(config_.cache_policy);
+  if (config_.cache_policy == cache::CachePolicy::kShared) {
+    evaluator.set_cache_mem_bytes(config_.cache_mem_bytes);
+    if (config_.shared_cache) evaluator.set_shared_cache(config_.shared_cache);
+  }
   const auto& space = firelib::ScenarioSpace::table1();
   const auto& lines = truth_->fire_lines;
 
@@ -72,6 +94,19 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
     Stopwatch watch;
     const std::size_t cache_hits_before = evaluator.cache_hits();
     const std::size_t cache_misses_before = evaluator.cache_misses();
+    const std::size_t cache_evictions_before = evaluator.cache_evictions();
+    const std::size_t cache_rejected_before =
+        evaluator.cache_insertions_rejected();
+    std::size_t cache_peak_entries = 0;
+    std::size_t cache_peak_bytes = 0;
+    // Sampled after every simulating stage: the step cache is wiped by the
+    // SS/PS context change mid-step, so only a per-stage max sees the OS
+    // working set.
+    const auto sample_cache = [&] {
+      cache_peak_entries =
+          std::max(cache_peak_entries, evaluator.cache_entries());
+      cache_peak_bytes = std::max(cache_peak_bytes, evaluator.cache_bytes());
+    };
     const auto un = static_cast<std::size_t>(n);
     const double t_prev = truth_->time_of(n - 1);
     const double t_now = truth_->time_of(n);
@@ -86,6 +121,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
         optimizer.optimize(firelib::kParamCount, batch, config_.stop, rng);
     ESSNS_REQUIRE(!outcome.solutions.empty(),
                   "optimizer returned an empty solution set");
+    sample_cache();
     const double os_seconds = stage_watch.elapsed_seconds();
 
     // Cap the solution set (highest fitness first) so SS cost is bounded.
@@ -105,6 +141,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
         evaluator.simulate_batch(scenarios, lines[un - 1], t_now);
     const Grid<double> probability_now =
         aggregate_probability(calibration_maps, t_now);
+    sample_cache();
     const double ss_seconds = stage_watch.elapsed_seconds();
 
     // --- Calibration Stage: S_Kign against RFL_n. ---
@@ -122,6 +159,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
         evaluator.simulate_batch(scenarios, lines[un], t_next);
     last_probability_ = aggregate_probability(prediction_maps, t_next);
     last_prediction_ = apply_kign(last_probability_, kign.kign);
+    sample_cache();
     const double ps_seconds = stage_watch.elapsed_seconds();
 
     // Scoring PFL_{n+1} against RFL_{n+1} is evaluation of the prediction,
@@ -147,6 +185,12 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
     report.ps_seconds = ps_seconds;
     report.cache_hits = evaluator.cache_hits() - cache_hits_before;
     report.cache_misses = evaluator.cache_misses() - cache_misses_before;
+    report.cache_evictions =
+        evaluator.cache_evictions() - cache_evictions_before;
+    report.cache_insertions_rejected =
+        evaluator.cache_insertions_rejected() - cache_rejected_before;
+    report.cache_entries = cache_peak_entries;
+    report.cache_bytes = cache_peak_bytes;
     result.steps.push_back(report);
   }
   return result;

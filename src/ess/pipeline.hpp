@@ -21,8 +21,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 
+#include "cache/scenario_cache.hpp"
 #include "ess/calibration.hpp"
 #include "ess/evaluator.hpp"
 #include "ess/optimizer.hpp"
@@ -35,7 +37,16 @@ struct PipelineConfig {
   int kign_candidates = 100;         ///< CS threshold grid resolution
   unsigned workers = 1;              ///< OS-Worker count (1 = serial)
   std::size_t max_solution_maps = 64;  ///< cap on maps aggregated by the SS
-  bool use_cache = true;  ///< memoize duplicate scenarios (bit-identical)
+  /// Scenario memoization policy (results bit-identical under every
+  /// policy): kStep scopes the cache to one prediction step's interval,
+  /// kShared keeps entries across steps (and across jobs, when a campaign
+  /// installs one shared cache into every pipeline).
+  cache::CachePolicy cache_policy = cache::CachePolicy::kStep;
+  /// Byte budget when this pipeline has to create its own shared cache
+  /// (cache_policy == kShared and shared_cache is null).
+  std::size_t cache_mem_bytes = cache::kDefaultCacheBytes;
+  /// Campaign-installed cross-job cache; null means the pipeline owns one.
+  std::shared_ptr<cache::SharedScenarioCache> shared_cache;
 };
 
 /// One predicted step (predicting t_{step} from data through t_{step-1}).
@@ -58,9 +69,19 @@ struct StepReport {
   double ps_seconds = 0.0;  ///< Prediction Stage (forward batch + threshold)
 
   // Scenario-cache activity over the step (all stages that simulate).
-  // Deterministic across worker counts; hits are simulations avoided.
+  // Deterministic across worker counts under the step policy; hits are
+  // simulations avoided. Evictions/rejections are per-step deltas.
+  // entries/bytes are the step's PEAK, sampled at every stage boundary —
+  // under the step policy the SS/PS context change wipes the cache
+  // mid-step, so an end-of-step snapshot would hide the OS working set;
+  // under the shared policy they reflect the whole (possibly cross-job)
+  // cache as this pipeline saw it.
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
+  std::size_t cache_insertions_rejected = 0;
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
 };
 
 struct PipelineResult {
@@ -72,6 +93,12 @@ struct PipelineResult {
   std::size_t total_evaluations() const;
   std::size_t total_cache_hits() const;
   std::size_t total_cache_misses() const;
+  std::size_t total_cache_evictions() const;
+  std::size_t total_cache_insertions_rejected() const;
+  /// Peak cache footprint seen by this pipeline (max of the per-stage
+  /// samples over all steps; under the shared policy this is the whole —
+  /// possibly cross-job — cache, so do not sum it across jobs).
+  std::size_t max_cache_bytes() const;
   /// Hits over hits + misses; 0 when nothing went through the cache.
   double cache_hit_rate() const;
 };

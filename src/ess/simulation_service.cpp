@@ -3,60 +3,10 @@
 #include <bit>
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
 #include "ess/fitness.hpp"
 
 namespace essns::ess {
-namespace {
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
-  for (int byte = 0; byte < 8; ++byte) {
-    hash ^= (value >> (byte * 8)) & 0xffULL;
-    hash *= kFnvPrime;
-  }
-  return hash;
-}
-
-/// Content fingerprint of an ignition map (dimensions + cell bit patterns).
-/// Computed once per batch, it guards the cache against pointer reuse.
-std::uint64_t fingerprint(const firelib::IgnitionMap& map) {
-  std::uint64_t hash = kFnvOffset;
-  hash = fnv1a(hash, static_cast<std::uint64_t>(map.rows()));
-  hash = fnv1a(hash, static_cast<std::uint64_t>(map.cols()));
-  const double* data = map.data();
-  for (std::size_t i = 0; i < map.size(); ++i)
-    hash = fnv1a(hash, std::bit_cast<std::uint64_t>(data[i]));
-  return hash;
-}
-
-std::uint64_t param_bits(double value) {
-  return std::bit_cast<std::uint64_t>(value == 0.0 ? 0.0 : value);
-}
-
-}  // namespace
-
-ScenarioKey make_scenario_key(const firelib::Scenario& scenario) {
-  ScenarioKey key;
-  key.bits[0] = static_cast<std::uint64_t>(
-      static_cast<std::int64_t>(scenario.model));
-  key.bits[1] = param_bits(scenario.wind_speed);
-  key.bits[2] = param_bits(scenario.wind_dir);
-  key.bits[3] = param_bits(scenario.m1);
-  key.bits[4] = param_bits(scenario.m10);
-  key.bits[5] = param_bits(scenario.m100);
-  key.bits[6] = param_bits(scenario.mherb);
-  key.bits[7] = param_bits(scenario.slope);
-  key.bits[8] = param_bits(scenario.aspect);
-  return key;
-}
-
-std::size_t ScenarioKeyHash::operator()(const ScenarioKey& key) const {
-  std::uint64_t hash = kFnvOffset;
-  for (const std::uint64_t word : key.bits) hash = fnv1a(hash, word);
-  return static_cast<std::size_t>(hash);
-}
 
 SimulationService::SimulationService(const firelib::FireEnvironment& env,
                                      unsigned workers)
@@ -78,12 +28,46 @@ unsigned SimulationService::workers() const {
   return pool_ ? pool_->worker_count() : 1;
 }
 
+void SimulationService::clear_step_cache() {
+  step_cache_.clear();
+  cache_context_ = CacheContext{};
+  step_cache_bytes_ = 0;
+}
+
+void SimulationService::set_cache_policy(cache::CachePolicy policy) {
+  if (policy == cache_policy_) return;
+  cache_policy_ = policy;
+  clear_step_cache();
+}
+
 void SimulationService::set_cache_enabled(bool enabled) {
-  cache_enabled_ = enabled;
-  if (!enabled) {
-    cache_.clear();
-    cache_context_ = CacheContext{};
+  set_cache_policy(enabled ? cache::CachePolicy::kStep
+                           : cache::CachePolicy::kOff);
+}
+
+void SimulationService::set_shared_cache(
+    std::shared_ptr<cache::SharedScenarioCache> cache) {
+  shared_cache_ = std::move(cache);
+}
+
+std::size_t SimulationService::cache_entries() const {
+  switch (cache_policy_) {
+    case cache::CachePolicy::kStep: return step_cache_.size();
+    case cache::CachePolicy::kShared:
+      return shared_cache_ ? shared_cache_->stats().entries : 0;
+    case cache::CachePolicy::kOff: break;
   }
+  return 0;
+}
+
+std::size_t SimulationService::cache_bytes() const {
+  switch (cache_policy_) {
+    case cache::CachePolicy::kStep: return step_cache_bytes_;
+    case cache::CachePolicy::kShared:
+      return shared_cache_ ? shared_cache_->stats().bytes : 0;
+    case cache::CachePolicy::kOff: break;
+  }
+  return 0;
 }
 
 void SimulationService::set_reference_kernels(bool reference) {
@@ -111,6 +95,7 @@ SimulationResult SimulationService::run_one(unsigned worker_id,
                                             const SimulationRequest& req) {
   ESSNS_REQUIRE(req.scenario && req.start, "request scenario/start must be set");
   simulations_.fetch_add(1, std::memory_order_relaxed);
+  Stopwatch watch;
   firelib::PropagationWorkspace& workspace = workspaces_[worker_id];
   const firelib::IgnitionMap& simulated = propagator_.propagate(
       *env_, *req.scenario, *req.start, req.end_time, workspace);
@@ -123,6 +108,7 @@ SimulationResult SimulationService::run_one(unsigned worker_id,
             : jaccard_at(*req.target, simulated, req.end_time, req.start_time);
   }
   if (req.keep_map) result.map = simulated;
+  result.sim_seconds = watch.elapsed_seconds();
   return result;
 }
 
@@ -143,7 +129,7 @@ std::vector<SimulationResult> SimulationService::run_batch(
   // The cache applies to homogeneous batches — one (start, target, interval)
   // shared by every request, which is what fitness_batch / simulate_batch
   // produce. Mixed batches bypass it.
-  bool homogeneous = cache_enabled_;
+  bool homogeneous = cache_policy_ != cache::CachePolicy::kOff;
   const SimulationRequest& first = requests.front();
   for (const SimulationRequest& req : requests) {
     ESSNS_REQUIRE(req.scenario && req.start,
@@ -152,7 +138,11 @@ std::vector<SimulationResult> SimulationService::run_batch(
         req.start_time != first.start_time || req.end_time != first.end_time)
       homogeneous = false;
   }
-  if (homogeneous) return run_batch_cached(requests);
+  if (homogeneous) {
+    return cache_policy_ == cache::CachePolicy::kShared
+               ? run_batch_shared(requests)
+               : run_batch_step(requests);
+  }
 
   std::vector<const SimulationRequest*> tasks;
   tasks.reserve(requests.size());
@@ -160,7 +150,7 @@ std::vector<SimulationResult> SimulationService::run_batch(
   return run_batch_uncached(tasks);
 }
 
-std::vector<SimulationResult> SimulationService::run_batch_cached(
+std::vector<SimulationResult> SimulationService::run_batch_step(
     const std::vector<SimulationRequest>& requests) {
   const SimulationRequest& first = requests.front();
   CacheContext context;
@@ -168,11 +158,13 @@ std::vector<SimulationResult> SimulationService::run_batch_cached(
   context.target = first.target;
   context.start_time = first.start_time;
   context.end_time = first.end_time;
-  context.start_fingerprint = fingerprint(*first.start);
-  context.target_fingerprint = first.target ? fingerprint(*first.target) : 0;
+  context.start_fingerprint = cache::map_fingerprint(*first.start);
+  context.target_fingerprint =
+      first.target ? cache::map_fingerprint(*first.target) : 0;
   context.valid = true;
   if (!(context == cache_context_)) {
-    cache_.clear();
+    step_cache_.clear();
+    step_cache_bytes_ = 0;
     cache_context_ = context;
   }
 
@@ -182,17 +174,20 @@ std::vector<SimulationResult> SimulationService::run_batch_cached(
   std::vector<SimulationResult> results(requests.size());
   std::vector<std::size_t> slot_of(requests.size(), kFromCache);
   std::vector<SimulationRequest> scheduled;
-  std::vector<ScenarioKey> scheduled_keys;
-  std::unordered_map<ScenarioKey, std::size_t, ScenarioKeyHash> in_batch;
+  std::vector<cache::ScenarioKey> scheduled_keys;
+  std::unordered_map<cache::ScenarioKey, std::size_t, cache::ScenarioKeyHash>
+      in_batch;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const SimulationRequest& req = requests[i];
-    const ScenarioKey key = make_scenario_key(*req.scenario);
-    const auto cached = cache_.find(key);
-    const bool satisfied = cached != cache_.end() &&
-                           (!req.target || cached->second.fitness) &&
+    const cache::ScenarioKey key = cache::make_scenario_key(*req.scenario);
+    const auto cached = step_cache_.find(key);
+    // Step mode keeps the original behavior bit-for-bit: only an explicit
+    // fitness record satisfies a fitness request (no re-scoring from maps).
+    const bool satisfied = cached != step_cache_.end() &&
+                           (!req.target || cached->second.find_fitness(0, 0)) &&
                            (!req.keep_map || cached->second.map);
     if (satisfied) {
-      if (req.target) results[i].fitness = *cached->second.fitness;
+      if (req.target) results[i].fitness = *cached->second.find_fitness(0, 0);
       if (req.keep_map) results[i].map = *cached->second.map;
       ++cache_hits_;
       continue;
@@ -223,13 +218,132 @@ std::vector<SimulationResult> SimulationService::run_batch_cached(
     if (req.keep_map) results[i].map = sim.map;
   }
   for (std::size_t slot = 0; slot < scheduled.size(); ++slot) {
-    const ScenarioKey& key = scheduled_keys[slot];
-    const bool known = cache_.count(key) != 0;
-    if (!known && cache_.size() >= cache_capacity_) continue;
-    CacheEntry& entry = cache_[key];
-    if (scheduled[slot].target) entry.fitness = simulated[slot].fitness;
+    const cache::ScenarioKey& key = scheduled_keys[slot];
+    const bool known = step_cache_.count(key) != 0;
+    if (!known && step_cache_.size() >= step_cache_capacity_) {
+      ++cache_insertions_rejected_;
+      continue;
+    }
+    cache::CachedScenario& entry = step_cache_[key];
+    const std::size_t charge_before = known ? cache::entry_charge(entry) : 0;
+    if (scheduled[slot].target)
+      entry.set_fitness(0, 0, simulated[slot].fitness);
     if (scheduled[slot].keep_map && !entry.map)
       entry.map = std::move(simulated[slot].map);
+    step_cache_bytes_ += cache::entry_charge(entry) - charge_before;
+  }
+  return results;
+}
+
+std::vector<SimulationResult> SimulationService::run_batch_shared(
+    const std::vector<SimulationRequest>& requests) {
+  if (!shared_cache_)
+    shared_cache_ = std::make_shared<cache::SharedScenarioCache>(
+        cache_mem_bytes_);
+
+  // Keys carry the *simulation* context (start map, end time) only; the
+  // scoring target lives in per-entry fitness records. So unlike kStep a
+  // context change invalidates nothing, and the SS/PS map passes hit the
+  // entries the OS fitness pass just filled for the same interval.
+  if (!env_fingerprint_)
+    env_fingerprint_ = cache::environment_fingerprint(*env_);
+  const SimulationRequest& first = requests.front();
+  const std::uint64_t start_fp = cache::map_fingerprint(*first.start);
+  const std::uint64_t context =
+      cache::context_fingerprint(*env_fingerprint_, start_fp, first.end_time);
+  cache::FitnessQuery query;
+  if (first.target) {
+    query.target_fingerprint = cache::map_fingerprint(*first.target);
+    query.start_time_bits = std::bit_cast<std::uint64_t>(first.start_time);
+  }
+
+  constexpr std::size_t kFromCache = static_cast<std::size_t>(-1);
+  std::vector<SimulationResult> results(requests.size());
+  std::vector<std::size_t> slot_of(requests.size(), kFromCache);
+  std::vector<SimulationRequest> scheduled;
+  std::vector<cache::ScenarioKey> scheduled_keys;
+  std::unordered_map<cache::ScenarioKey, std::size_t, cache::ScenarioKeyHash>
+      in_batch;
+  // Mirrors run_batch_step's scheduling skeleton on purpose: the step path
+  // is frozen bit-for-bit, so the two evolve independently.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const SimulationRequest& req = requests[i];
+    cache::ScenarioKey key = cache::make_scenario_key(*req.scenario);
+    key.context = context;
+    // In-batch duplicates first: the scheduled simulation will serve them,
+    // so probing the shared cache would only take the shard mutex to record
+    // a phantom miss (skewing the cache-global hit-rate on exactly the
+    // duplicate-heavy batches the cache targets).
+    if (const auto dup = in_batch.find(key); dup != in_batch.end()) {
+      ++cache_hits_;
+      slot_of[i] = dup->second;
+      continue;
+    }
+    const auto cached =
+        shared_cache_->find(key, req.keep_map, req.target ? &query : nullptr);
+    if (cached) {
+      if (req.target) {
+        const double* fitness = cached->find_fitness(
+            query.target_fingerprint, query.start_time_bits);
+        if (fitness) {
+          results[i].fitness = *fitness;
+        } else {
+          // New target for a cached map: re-score the byte-exact map (a
+          // single pass, orders of magnitude cheaper than re-simulating)
+          // and record the score for the next asker.
+          results[i].fitness =
+              reference_fitness_
+                  ? jaccard_at_reference(*req.target, *cached->map,
+                                         req.end_time, req.start_time)
+                  : jaccard_at(*req.target, *cached->map, req.end_time,
+                               req.start_time);
+          cache::CachedScenario scored;
+          scored.set_fitness(query.target_fingerprint, query.start_time_bits,
+                             results[i].fitness);
+          const cache::InsertOutcome outcome =
+              shared_cache_->insert(key, std::move(scored), 0.0);
+          cache_evictions_ += outcome.evictions;
+          if (outcome.rejected) ++cache_insertions_rejected_;
+        }
+      }
+      if (req.keep_map) results[i].map = *cached->map;
+      ++cache_hits_;
+      continue;
+    }
+    in_batch.emplace(key, scheduled.size());
+    slot_of[i] = scheduled.size();
+    scheduled.push_back(req);
+    // Always keep the map on a shared-mode miss: a fitness-only request
+    // costs one extra map copy now, but the map is exactly what the same
+    // step's SS/PS pass (or a later target) would otherwise re-simulate.
+    // The byte budget absorbs the footprint.
+    scheduled.back().keep_map = true;
+    scheduled_keys.push_back(key);
+    ++cache_misses_;
+  }
+
+  std::vector<const SimulationRequest*> tasks;
+  tasks.reserve(scheduled.size());
+  for (const SimulationRequest& req : scheduled) tasks.push_back(&req);
+  std::vector<SimulationResult> simulated = run_batch_uncached(tasks);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (slot_of[i] == kFromCache) continue;
+    const SimulationRequest& req = requests[i];
+    const SimulationResult& sim = simulated[slot_of[i]];
+    if (req.target) results[i].fitness = sim.fitness;
+    if (req.keep_map) results[i].map = sim.map;
+  }
+  for (std::size_t slot = 0; slot < scheduled.size(); ++slot) {
+    cache::CachedScenario value;
+    if (scheduled[slot].target)
+      value.set_fitness(query.target_fingerprint, query.start_time_bits,
+                        simulated[slot].fitness);
+    value.map = std::move(simulated[slot].map);
+    const cache::InsertOutcome outcome = shared_cache_->insert(
+        scheduled_keys[slot], std::move(value), simulated[slot].sim_seconds);
+    cache_evictions_ += outcome.evictions;
+    if (outcome.rejected) ++cache_insertions_rejected_;
   }
   return results;
 }

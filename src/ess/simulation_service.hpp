@@ -14,16 +14,26 @@
 // in request order, and each simulation is a deterministic function of its
 // inputs — so results are bit-identical across worker counts (workers == 1
 // runs inline on the calling thread).
+//
 // Scenario cache: duplicate genomes are common under GA crossover/elitism,
-// and re-simulating a byte-identical scenario over the same interval from the
-// same fire state is pure waste. run_batch memoizes results keyed by the
-// scenario's parameter bytes, scoped to a (start map, target map, interval)
-// context; a context change (e.g. the next prediction step) clears the cache.
-// All cache bookkeeping happens on the master thread at batch-assembly time,
-// so hit/miss counts and results are deterministic at every worker count.
+// and re-simulating a byte-identical scenario over the same interval from
+// the same fire state is pure waste. The service memoizes batch results
+// behind a cache-policy seam (cache::CachePolicy):
+//
+//   kStep   the original behavior, bit-for-bit: a private map keyed by the
+//           scenario's parameter bytes, scoped to one (start map, target
+//           map, interval) context; a context change (e.g. the next
+//           prediction step) clears it. All bookkeeping happens on the
+//           master thread at batch-assembly time, so hit/miss counts and
+//           results are deterministic at every worker count.
+//   kShared a cache::SharedScenarioCache keyed by context-qualified keys,
+//           surviving context changes and shareable across concurrent
+//           services (one per campaign). Hit/miss patterns may vary across
+//           runs, but every served value is a byte-exact pure function of
+//           its key, so results stay bit-identical to kOff.
+//   kOff    no memoization.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -31,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/scenario_cache.hpp"
 #include "firelib/environment.hpp"
 #include "firelib/propagator.hpp"
 #include "parallel/master_worker.hpp"
@@ -54,19 +65,9 @@ struct SimulationRequest {
 struct SimulationResult {
   firelib::IgnitionMap map;  ///< empty when the request had keep_map = false
   double fitness = 0.0;      ///< 0 when the request had no target
-};
-
-/// Byte-exact memoization key: the bit patterns of the nine Table I
-/// parameters (negative zeros normalized so -0.0 and +0.0 share an entry).
-struct ScenarioKey {
-  std::array<std::uint64_t, 9> bits{};
-  friend bool operator==(const ScenarioKey&, const ScenarioKey&) = default;
-};
-
-ScenarioKey make_scenario_key(const firelib::Scenario& scenario);
-
-struct ScenarioKeyHash {
-  std::size_t operator()(const ScenarioKey& key) const;
+  /// Wall-clock of the simulation that produced this result (0 for cache
+  /// hits); the shared cache weights eviction by it.
+  double sim_seconds = 0.0;
 };
 
 class SimulationService {
@@ -83,20 +84,60 @@ class SimulationService {
   unsigned workers() const;
   std::size_t simulations_run() const { return simulations_.load(); }
 
-  /// Toggle the scenario cache (on by default). Results are bit-identical
-  /// either way; off trades CPU for zero memoization memory.
+  /// Select the memoization policy (default kStep). Results are
+  /// bit-identical under every policy; the policies trade CPU for memory
+  /// and sharing scope. Switching policies drops the step-scoped cache.
+  void set_cache_policy(cache::CachePolicy policy);
+  cache::CachePolicy cache_policy() const { return cache_policy_; }
+
+  /// Legacy boolean knob: on -> kStep (the historical behavior), off ->
+  /// kOff. Prefer set_cache_policy.
   void set_cache_enabled(bool enabled);
-  bool cache_enabled() const { return cache_enabled_; }
+  bool cache_enabled() const {
+    return cache_policy_ != cache::CachePolicy::kOff;
+  }
+
+  /// The cross-step / cross-job cache used when the policy is kShared. A
+  /// campaign installs one cache into every job's service; when none is
+  /// installed the service lazily creates a private one sized
+  /// cache_mem_bytes on first use.
+  void set_shared_cache(std::shared_ptr<cache::SharedScenarioCache> cache);
+  std::shared_ptr<cache::SharedScenarioCache> shared_cache() const {
+    return shared_cache_;
+  }
+
+  /// Byte budget of a lazily self-created shared cache (default 256 MiB).
+  /// Ignored once a cache is installed or created.
+  void set_cache_mem_bytes(std::size_t bytes) { cache_mem_bytes_ = bytes; }
 
   /// Batch requests served from the cache / satisfied by an in-batch
-  /// duplicate, vs actually simulated. Deterministic across worker counts
-  /// (cache decisions happen on the master thread).
+  /// duplicate, vs actually simulated. Under kStep these are deterministic
+  /// across worker counts (decisions happen on the master thread); under
+  /// kShared concurrent services mutate the cache, so the split may vary
+  /// while results stay bit-identical.
   std::size_t cache_hits() const { return cache_hits_; }
   std::size_t cache_misses() const { return cache_misses_; }
+  /// Evictions this service's inserts triggered (kShared only).
+  std::size_t cache_evictions() const { return cache_evictions_; }
+  /// Inserts dropped: step cache at its capacity backstop, or a shared
+  /// entry larger than a whole cache shard.
+  std::size_t cache_insertions_rejected() const {
+    return cache_insertions_rejected_;
+  }
+  /// Entries / charged bytes visible to this service: the step-scoped map
+  /// under kStep, the whole shared cache under kShared, 0 under kOff.
+  std::size_t cache_entries() const;
+  std::size_t cache_bytes() const;
 
-  /// Run both kernels as before this PR's hot-path overhaul: reference
-  /// Dijkstra sweep (per-pop behavior + trig) and mask-materializing
-  /// Eq. (3). For equivalence tests and bench_hotpath baselines.
+  /// Shrink the kStep insertion backstop (default 1<<16 entries) — exposed
+  /// so tests can exercise the saturation counters cheaply.
+  void set_step_cache_capacity(std::size_t capacity) {
+    step_cache_capacity_ = capacity;
+  }
+
+  /// Run both kernels as before the hot-path overhaul: reference Dijkstra
+  /// sweep (per-pop behavior + trig) and mask-materializing Eq. (3). For
+  /// equivalence tests and bench_hotpath baselines.
   void set_reference_kernels(bool reference);
 
   /// Select the propagator's sweep-queue discipline (default kDial). Heap
@@ -128,16 +169,9 @@ class SimulationService {
       double start_time, double end_time);
 
  private:
-  /// What a cached scenario can answer so far; fields fill in lazily (a
-  /// fitness-only request stores no map, a later keep_map miss adds one).
-  struct CacheEntry {
-    std::optional<double> fitness;
-    std::optional<firelib::IgnitionMap> map;
-  };
-
-  /// The interval the cache is currently valid for. Pointer identity plus a
-  /// content fingerprint of both maps, so in-place mutation behind a reused
-  /// pointer invalidates instead of serving stale results.
+  /// The interval the kStep cache is currently valid for. Pointer identity
+  /// plus a content fingerprint of both maps, so in-place mutation behind a
+  /// reused pointer invalidates instead of serving stale results.
   struct CacheContext {
     const firelib::IgnitionMap* start = nullptr;
     const firelib::IgnitionMap* target = nullptr;
@@ -153,8 +187,11 @@ class SimulationService {
   SimulationResult run_one(unsigned worker_id, const SimulationRequest& req);
   std::vector<SimulationResult> run_batch_uncached(
       const std::vector<const SimulationRequest*>& requests);
-  std::vector<SimulationResult> run_batch_cached(
+  std::vector<SimulationResult> run_batch_step(
       const std::vector<SimulationRequest>& requests);
+  std::vector<SimulationResult> run_batch_shared(
+      const std::vector<SimulationRequest>& requests);
+  void clear_step_cache();
 
   const firelib::FireEnvironment* env_;
   firelib::FireSpreadModel spread_model_;
@@ -167,16 +204,33 @@ class SimulationService {
                                          SimulationResult>>
       pool_;
 
-  bool cache_enabled_ = true;
+  cache::CachePolicy cache_policy_ = cache::CachePolicy::kStep;
   bool reference_fitness_ = false;
-  std::unordered_map<ScenarioKey, CacheEntry, ScenarioKeyHash> cache_;
+
+  // kStep state: one context's worth of memoized scenarios.
+  std::unordered_map<cache::ScenarioKey, cache::CachedScenario,
+                     cache::ScenarioKeyHash>
+      step_cache_;
   CacheContext cache_context_;
+  std::size_t step_cache_bytes_ = 0;
+  /// Insertion stops (entries are kept) once the step cache holds this many
+  /// scenarios; contexts are short-lived, so this is a memory backstop, not
+  /// an eviction policy. Saturation shows up in cache_insertions_rejected.
+  std::size_t step_cache_capacity_ = 1 << 16;
+
+  // kShared state.
+  std::shared_ptr<cache::SharedScenarioCache> shared_cache_;
+  std::size_t cache_mem_bytes_ = cache::kDefaultCacheBytes;
+  /// Terrain fingerprint folded into every shared-cache context so jobs
+  /// over different environments never share entries. Computed on the
+  /// master thread at the first shared batch (the environment is fixed
+  /// for the service's lifetime).
+  std::optional<std::uint64_t> env_fingerprint_;
+
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
-  /// Insertion stops (entries are kept) once the cache holds this many
-  /// scenarios; contexts are short-lived, so this is a memory backstop, not
-  /// an eviction policy.
-  std::size_t cache_capacity_ = 1 << 16;
+  std::size_t cache_evictions_ = 0;
+  std::size_t cache_insertions_rejected_ = 0;
 };
 
 }  // namespace essns::ess

@@ -70,6 +70,32 @@ std::size_t CampaignResult::cache_misses() const {
   return sum;
 }
 
+std::size_t CampaignResult::cache_evictions() const {
+  std::size_t sum = 0;
+  for (const auto& job : jobs)
+    if (job.status == JobStatus::kSucceeded)
+      sum += job.result.total_cache_evictions();
+  return sum;
+}
+
+std::size_t CampaignResult::cache_insertions_rejected() const {
+  std::size_t sum = 0;
+  for (const auto& job : jobs)
+    if (job.status == JobStatus::kSucceeded)
+      sum += job.result.total_cache_insertions_rejected();
+  return sum;
+}
+
+std::size_t CampaignResult::cache_bytes() const {
+  if (cache_policy == cache::CachePolicy::kShared)
+    return shared_cache_stats.bytes;
+  std::size_t sum = 0;
+  for (const auto& job : jobs)
+    if (job.status == JobStatus::kSucceeded)
+      sum += job.result.max_cache_bytes();
+  return sum;
+}
+
 double CampaignResult::cache_hit_rate() const {
   const std::size_t hits = cache_hits();
   const std::size_t total = hits + cache_misses();
@@ -104,9 +130,9 @@ unsigned CampaignScheduler::workers_per_job(std::size_t job_count) const {
   return std::max(1u, config_.total_workers / in_flight);
 }
 
-JobRecord CampaignScheduler::run_job(const synth::Workload& workload,
-                                     std::size_t index,
-                                     unsigned workers) const {
+JobRecord CampaignScheduler::run_job(
+    const synth::Workload& workload, std::size_t index, unsigned workers,
+    const std::shared_ptr<cache::SharedScenarioCache>& shared_cache) const {
   JobRecord record;
   record.index = index;
   record.workload = workload.name;
@@ -124,7 +150,9 @@ JobRecord CampaignScheduler::run_job(const synth::Workload& workload,
     pipeline_config.stop = {config_.generations, config_.fitness_threshold};
     pipeline_config.workers = workers;
     pipeline_config.max_solution_maps = config_.max_solution_maps;
-    pipeline_config.use_cache = config_.use_cache;
+    pipeline_config.cache_policy = config_.cache_policy;
+    pipeline_config.cache_mem_bytes = config_.cache_mem_bytes;
+    pipeline_config.shared_cache = shared_cache;
     ess::PredictionPipeline pipeline(workload.environment, truth,
                                      pipeline_config);
 
@@ -152,8 +180,21 @@ CampaignResult CampaignScheduler::run(
   CampaignResult result;
   result.job_concurrency = config_.job_concurrency;
   result.workers_per_job = workers_per_job(workloads.size());
+  result.cache_policy = config_.cache_policy;
   result.jobs.resize(workloads.size());
   if (workloads.empty()) return result;
+
+  // One byte-bounded cache for the whole campaign: every concurrent job's
+  // SimulationService probes and fills the same shards, so duplicate
+  // simulations are amortized across jobs, not just within one pipeline.
+  std::shared_ptr<cache::SharedScenarioCache> shared_cache;
+  if (config_.cache_policy == cache::CachePolicy::kShared) {
+    shared_cache = config_.shared_cache
+                       ? config_.shared_cache
+                       : std::make_shared<cache::SharedScenarioCache>(
+                             config_.cache_mem_bytes);
+    result.cache_mem_bytes = shared_cache->max_bytes();
+  }
 
   const unsigned per_job = result.workers_per_job;
   Stopwatch wall;
@@ -162,7 +203,7 @@ CampaignResult CampaignScheduler::run(
       std::min<std::size_t>(config_.job_concurrency, workloads.size()));
   if (concurrency <= 1) {
     for (std::size_t i = 0; i < workloads.size(); ++i) {
-      result.jobs[i] = run_job(workloads[i], i, per_job);
+      result.jobs[i] = run_job(workloads[i], i, per_job, shared_cache);
       if (config_.on_job_done) config_.on_job_done(result.jobs[i]);
     }
   } else {
@@ -172,8 +213,8 @@ CampaignResult CampaignScheduler::run(
     pending.reserve(workloads.size());
     for (std::size_t i = 0; i < workloads.size(); ++i) {
       pending.push_back(pool.submit([this, &workloads, &result, &done_mutex,
-                                     per_job, i] {
-        result.jobs[i] = run_job(workloads[i], i, per_job);
+                                     &shared_cache, per_job, i] {
+        result.jobs[i] = run_job(workloads[i], i, per_job, shared_cache);
         if (config_.on_job_done) {
           std::lock_guard lock(done_mutex);
           config_.on_job_done(result.jobs[i]);
@@ -184,6 +225,7 @@ CampaignResult CampaignScheduler::run(
   }
 
   result.wall_seconds = wall.elapsed_seconds();
+  if (shared_cache) result.shared_cache_stats = shared_cache->stats();
   return result;
 }
 

@@ -23,9 +23,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/scenario_cache.hpp"
 #include "ess/pipeline.hpp"
 #include "synth/workloads.hpp"
 
@@ -50,8 +52,16 @@ struct CampaignConfig {
   int novelty_k = 10;
   int islands = 3;
   std::size_t max_solution_maps = 64;
-  /// Per-job scenario memoization (results bit-identical either way).
-  bool use_cache = true;
+  /// Scenario memoization policy for every job (results bit-identical under
+  /// every policy). Under kShared the scheduler installs ONE byte-bounded
+  /// cache shared by all concurrent jobs, so duplicate work is amortized
+  /// across the whole campaign, not just within a prediction step.
+  cache::CachePolicy cache_policy = cache::CachePolicy::kStep;
+  /// Byte budget of the campaign-wide cache (kShared only).
+  std::size_t cache_mem_bytes = cache::kDefaultCacheBytes;
+  /// Pre-warmed cross-campaign cache (kShared only); null makes run()
+  /// create a fresh one per campaign.
+  std::shared_ptr<cache::SharedScenarioCache> shared_cache;
 
   /// Retain each job's final probability matrix / predicted fire line
   /// (map-export consumers; costs two grids per job).
@@ -83,6 +93,12 @@ struct CampaignResult {
   double wall_seconds = 0.0;
   unsigned job_concurrency = 1;  ///< concurrency the campaign ran at
   unsigned workers_per_job = 1;  ///< simulation workers granted to each job
+  cache::CachePolicy cache_policy = cache::CachePolicy::kStep;
+  std::size_t cache_mem_bytes = 0;  ///< shared-cache budget (kShared only)
+  /// End-of-campaign snapshot of the campaign-wide shared cache (kShared
+  /// only; zero-initialized otherwise). Hits/misses here are cache-global
+  /// and include cross-job traffic.
+  cache::CacheStats shared_cache_stats;
 
   std::size_t succeeded() const;
   std::size_t failed() const;
@@ -92,6 +108,11 @@ struct CampaignResult {
   // Scenario-cache activity summed over succeeded jobs.
   std::size_t cache_hits() const;
   std::size_t cache_misses() const;
+  std::size_t cache_evictions() const;
+  std::size_t cache_insertions_rejected() const;
+  /// Campaign cache footprint: the shared cache's live bytes under kShared,
+  /// otherwise the sum of each job's peak step-cache bytes.
+  std::size_t cache_bytes() const;
   double cache_hit_rate() const;  ///< hits / (hits + misses); 0 when idle
 };
 
@@ -112,7 +133,9 @@ class CampaignScheduler {
 
  private:
   JobRecord run_job(const synth::Workload& workload, std::size_t index,
-                    unsigned workers) const;
+                    unsigned workers,
+                    const std::shared_ptr<cache::SharedScenarioCache>&
+                        shared_cache) const;
 
   CampaignConfig config_;
 };

@@ -66,6 +66,10 @@ void write_campaign_jsonl(const CampaignResult& result, std::ostream& out) {
           << ",\"cache_hits\":" << job.result.total_cache_hits()
           << ",\"cache_misses\":" << job.result.total_cache_misses()
           << ",\"cache_hit_rate\":" << num(job.result.cache_hit_rate())
+          << ",\"cache_evictions\":" << job.result.total_cache_evictions()
+          << ",\"cache_insertions_rejected\":"
+          << job.result.total_cache_insertions_rejected()
+          << ",\"cache_peak_bytes\":" << job.result.max_cache_bytes()
           << ",\"steps\":[";
       for (std::size_t s = 0; s < job.result.steps.size(); ++s) {
         const auto& step = job.result.steps[s];
@@ -82,6 +86,11 @@ void write_campaign_jsonl(const CampaignResult& result, std::ostream& out) {
             << ",\"ps_seconds\":" << num(step.ps_seconds)
             << ",\"cache_hits\":" << step.cache_hits
             << ",\"cache_misses\":" << step.cache_misses
+            << ",\"cache_evictions\":" << step.cache_evictions
+            << ",\"cache_insertions_rejected\":"
+            << step.cache_insertions_rejected
+            << ",\"cache_entries\":" << step.cache_entries
+            << ",\"cache_bytes\":" << step.cache_bytes
             << ",\"elapsed_seconds\":" << num(step.elapsed_seconds) << "}";
       }
       out << "]";
@@ -136,27 +145,70 @@ std::string campaign_summary_json(const CampaignResult& result) {
       << ",\"wall_seconds\":" << num(result.wall_seconds)
       << ",\"jobs_per_second\":" << num(result.jobs_per_second())
       << ",\"mean_quality\":" << num(result.mean_quality())
+      << ",\"cache_policy\":\"" << cache::to_string(result.cache_policy)
+      << "\""
       << ",\"cache_hits\":" << result.cache_hits()
       << ",\"cache_misses\":" << result.cache_misses()
-      << ",\"cache_hit_rate\":" << num(result.cache_hit_rate()) << "}";
+      << ",\"cache_hit_rate\":" << num(result.cache_hit_rate())
+      << ",\"cache_evictions\":" << result.cache_evictions()
+      << ",\"cache_insertions_rejected\":"
+      << result.cache_insertions_rejected()
+      << ",\"cache_bytes\":" << result.cache_bytes();
+  if (result.cache_policy == cache::CachePolicy::kShared) {
+    // Cache-global view of the campaign-wide shared cache: hits/misses here
+    // include cross-job traffic, and entries/bytes are the end-of-campaign
+    // footprint against the configured budget.
+    const cache::CacheStats& s = result.shared_cache_stats;
+    out << ",\"cache_mem_bytes\":" << result.cache_mem_bytes
+        << ",\"shared_cache\":{\"hits\":" << s.hits
+        << ",\"misses\":" << s.misses
+        << ",\"hit_rate\":" << num(s.hit_rate())
+        << ",\"evictions\":" << s.evictions
+        << ",\"insertions_rejected\":" << s.insertions_rejected
+        << ",\"entries\":" << s.entries << ",\"bytes\":" << s.bytes << "}";
+  }
+  out << "}";
   return out.str();
 }
+
+namespace {
+
+std::string kib(std::size_t bytes) {
+  return std::to_string((bytes + 1023) / 1024);
+}
+
+}  // namespace
 
 TextTable campaign_summary_table(const CampaignResult& result,
                                  const std::string& title) {
   TextTable table(title + " (" + std::to_string(result.jobs.size()) +
                   " jobs, " + std::to_string(result.job_concurrency) +
                   " concurrent, " + std::to_string(result.workers_per_job) +
-                  " workers/job)");
-  table.set_header({"job", "workload", "status", "steps", "quality", "time[s]"});
+                  " workers/job, cache " +
+                  cache::to_string(result.cache_policy) + ")");
+  table.set_header({"job", "workload", "status", "steps", "quality", "time[s]",
+                    "hit%", "evict", "cache[KiB]"});
   for (const auto& job : result.jobs) {
     const bool ok = job.status == JobStatus::kSucceeded;
     table.add_row({std::to_string(job.index), job.workload,
                    to_string(job.status),
                    ok ? std::to_string(job.result.steps.size()) : "-",
                    ok ? TextTable::num(job.result.mean_quality()) : "-",
-                   TextTable::num(job.elapsed_seconds, 2)});
+                   TextTable::num(job.elapsed_seconds, 2),
+                   ok ? TextTable::num(100.0 * job.result.cache_hit_rate(), 1)
+                      : "-",
+                   ok ? std::to_string(job.result.total_cache_evictions())
+                      : "-",
+                   ok ? kib(job.result.max_cache_bytes()) : "-"});
   }
+  // Campaign-wide rollup so catalog runs show the cross-job sharing benefit
+  // (under kShared `cache[KiB]` is the shared cache's live footprint).
+  table.add_row({"all", "campaign", std::to_string(result.succeeded()) + " ok",
+                 "-", TextTable::num(result.mean_quality()),
+                 TextTable::num(result.wall_seconds, 2),
+                 TextTable::num(100.0 * result.cache_hit_rate(), 1),
+                 std::to_string(result.cache_evictions()),
+                 kib(result.cache_bytes())});
   return table;
 }
 

@@ -41,16 +41,32 @@ TEST(RunSpecTest, ParsesAllKeys) {
   EXPECT_EQ(spec.workers, 4u);
   EXPECT_EQ(spec.novelty_k, 5);
   EXPECT_EQ(spec.islands, 2);
-  EXPECT_FALSE(spec.use_cache);
+  EXPECT_EQ(spec.cache_policy, cache::CachePolicy::kOff);
 }
 
-TEST(RunSpecTest, CacheKeyParsesOnOff) {
-  EXPECT_TRUE(parse_run_spec("").use_cache);  // default on
-  EXPECT_TRUE(parse_run_spec("cache=on\n").use_cache);
-  EXPECT_TRUE(parse_run_spec("cache=1\n").use_cache);
-  EXPECT_FALSE(parse_run_spec("cache=off\n").use_cache);
-  EXPECT_FALSE(parse_run_spec("cache=false\n").use_cache);
+TEST(RunSpecTest, CacheKeyParsesPolicies) {
+  // Default step; legacy boolean spellings keep parsing.
+  EXPECT_EQ(parse_run_spec("").cache_policy, cache::CachePolicy::kStep);
+  EXPECT_EQ(parse_run_spec("cache=step\n").cache_policy,
+            cache::CachePolicy::kStep);
+  EXPECT_EQ(parse_run_spec("cache=on\n").cache_policy,
+            cache::CachePolicy::kStep);
+  EXPECT_EQ(parse_run_spec("cache=1\n").cache_policy,
+            cache::CachePolicy::kStep);
+  EXPECT_EQ(parse_run_spec("cache=shared\n").cache_policy,
+            cache::CachePolicy::kShared);
+  EXPECT_EQ(parse_run_spec("cache=off\n").cache_policy,
+            cache::CachePolicy::kOff);
+  EXPECT_EQ(parse_run_spec("cache=false\n").cache_policy,
+            cache::CachePolicy::kOff);
   EXPECT_THROW(parse_run_spec("cache=maybe\n"), InvalidArgument);
+}
+
+TEST(RunSpecTest, CacheMemKeyParsesMebibytes) {
+  EXPECT_EQ(parse_run_spec("").cache_mem_mb, 256u);  // default
+  EXPECT_EQ(parse_run_spec("cache_mem=32\n").cache_mem_mb, 32u);
+  EXPECT_THROW(parse_run_spec("cache_mem=0\n"), InvalidArgument);
+  EXPECT_THROW(parse_run_spec("cache_mem=lots\n"), InvalidArgument);
 }
 
 TEST(RunSpecTest, IgnoresCommentsAndBlankLines) {

@@ -151,40 +151,81 @@ TEST_F(PipelineTest, SerialAndParallelStepReportsBitIdentical) {
   EXPECT_EQ(ps.last_prediction(), pp.last_prediction());
 }
 
-TEST_F(PipelineTest, CacheOnAndOffGiveBitIdenticalResults) {
+TEST_F(PipelineTest, CachePoliciesGiveBitIdenticalResults) {
   // The scenario cache is a pure memoization: with a fixed seed, every
-  // numeric outcome must match the uncached pipeline bit for bit, while the
-  // step reports record the cache's activity.
+  // numeric outcome must match the uncached pipeline bit for bit under the
+  // step AND shared policies, while the step reports record the cache's
+  // activity.
   core::NsGaConfig ns;
   ns.population_size = 8;
   ns.offspring_count = 8;
-  PipelineConfig cached_cfg = config_;
-  cached_cfg.stop = {4, 0.95};
-  cached_cfg.use_cache = true;
-  PipelineConfig uncached_cfg = cached_cfg;
-  uncached_cfg.use_cache = false;
+  PipelineConfig uncached_cfg = config_;
+  uncached_cfg.stop = {4, 0.95};
+  uncached_cfg.cache_policy = cache::CachePolicy::kOff;
 
-  PredictionPipeline pc(workload_.environment, truth_, cached_cfg);
   PredictionPipeline pu(workload_.environment, truth_, uncached_cfg);
-  NsGaOptimizer o1(ns), o2(ns);
-  Rng a(13), b(13);
-  const auto rc = pc.run(o1, a);
-  const auto ru = pu.run(o2, b);
-  ASSERT_EQ(rc.steps.size(), ru.steps.size());
-  for (std::size_t i = 0; i < rc.steps.size(); ++i) {
-    EXPECT_EQ(rc.steps[i].kign, ru.steps[i].kign);
-    EXPECT_EQ(rc.steps[i].calibration_fitness,
-              ru.steps[i].calibration_fitness);
-    EXPECT_EQ(rc.steps[i].best_os_fitness, ru.steps[i].best_os_fitness);
-    EXPECT_EQ(rc.steps[i].prediction_quality, ru.steps[i].prediction_quality);
-    // Cache bookkeeping: active when enabled, silent when disabled.
-    EXPECT_GT(rc.steps[i].cache_misses, 0u);
-    EXPECT_EQ(ru.steps[i].cache_hits + ru.steps[i].cache_misses, 0u);
-  }
-  EXPECT_EQ(pc.last_probability(), pu.last_probability());
-  EXPECT_EQ(pc.last_prediction(), pu.last_prediction());
+  NsGaOptimizer ou(ns);
+  Rng ru_rng(13);
+  const auto ru = pu.run(ou, ru_rng);
   EXPECT_EQ(ru.total_cache_hits(), 0u);
   EXPECT_EQ(ru.cache_hit_rate(), 0.0);
+  EXPECT_EQ(ru.max_cache_bytes(), 0u);
+
+  for (const cache::CachePolicy policy :
+       {cache::CachePolicy::kStep, cache::CachePolicy::kShared}) {
+    SCOPED_TRACE(cache::to_string(policy));
+    PipelineConfig cached_cfg = uncached_cfg;
+    cached_cfg.cache_policy = policy;
+    PredictionPipeline pc(workload_.environment, truth_, cached_cfg);
+    NsGaOptimizer oc(ns);
+    Rng rc_rng(13);
+    const auto rc = pc.run(oc, rc_rng);
+    ASSERT_EQ(rc.steps.size(), ru.steps.size());
+    for (std::size_t i = 0; i < rc.steps.size(); ++i) {
+      EXPECT_EQ(rc.steps[i].kign, ru.steps[i].kign);
+      EXPECT_EQ(rc.steps[i].calibration_fitness,
+                ru.steps[i].calibration_fitness);
+      EXPECT_EQ(rc.steps[i].best_os_fitness, ru.steps[i].best_os_fitness);
+      EXPECT_EQ(rc.steps[i].prediction_quality,
+                ru.steps[i].prediction_quality);
+      // Cache bookkeeping: active when enabled, silent when disabled.
+      EXPECT_GT(rc.steps[i].cache_misses, 0u);
+      EXPECT_GT(rc.steps[i].cache_bytes, 0u);
+      EXPECT_EQ(ru.steps[i].cache_hits + ru.steps[i].cache_misses, 0u);
+    }
+    EXPECT_EQ(pc.last_probability(), pu.last_probability());
+    EXPECT_EQ(pc.last_prediction(), pu.last_prediction());
+  }
+}
+
+TEST_F(PipelineTest, SharedPolicyKeepsEntriesAcrossSteps) {
+  // Under kStep every context change wipes the cache, so end-of-step entry
+  // counts stay at one step's working set; under kShared entries accumulate
+  // across the whole run (and would be shared with sibling jobs).
+  core::NsGaConfig ns;
+  ns.population_size = 8;
+  ns.offspring_count = 8;
+  PipelineConfig step_cfg = config_;
+  step_cfg.stop = {3, 0.95};
+  step_cfg.cache_policy = cache::CachePolicy::kStep;
+  PipelineConfig shared_cfg = step_cfg;
+  shared_cfg.cache_policy = cache::CachePolicy::kShared;
+  shared_cfg.shared_cache = std::make_shared<cache::SharedScenarioCache>();
+
+  PredictionPipeline p_step(workload_.environment, truth_, step_cfg);
+  PredictionPipeline p_shared(workload_.environment, truth_, shared_cfg);
+  NsGaOptimizer o1(ns), o2(ns);
+  Rng a(15), b(15);
+  const auto r_step = p_step.run(o1, a);
+  const auto r_shared = p_shared.run(o2, b);
+  ASSERT_GE(r_shared.steps.size(), 2u);
+  EXPECT_GT(r_shared.steps.back().cache_entries,
+            r_step.steps.back().cache_entries)
+      << "shared cache should retain earlier steps' entries";
+  const cache::CacheStats stats = shared_cfg.shared_cache->stats();
+  EXPECT_EQ(stats.entries, r_shared.steps.back().cache_entries);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_EQ(stats.evictions, 0u);  // default budget far above this workload
 }
 
 TEST_F(PipelineTest, CacheCountersDeterministicAcrossWorkerCounts) {

@@ -170,6 +170,135 @@ TEST_F(SimulationServiceTest, CachedSimulateBatchKeepsMapsBitwise) {
   EXPECT_EQ(service.simulations_run(), scenarios_.size());
 }
 
+TEST_F(SimulationServiceTest, SharedPolicyMatchesOffBitwise) {
+  // Duplicate-heavy batch under the shared policy: results bit-identical to
+  // no caching at every worker count, with the duplicates served as hits.
+  std::vector<firelib::Scenario> batch;
+  for (int repeat = 0; repeat < 3; ++repeat)
+    for (const auto& scenario : scenarios_) batch.push_back(scenario);
+
+  SimulationService uncached(workload_.environment, 1);
+  uncached.set_cache_policy(cache::CachePolicy::kOff);
+  const auto expected = uncached.fitness_batch(
+      batch, truth_.fire_lines[0], truth_.fire_lines[1], 0.0,
+      truth_.step_minutes);
+
+  for (unsigned workers : {1u, 4u}) {
+    SCOPED_TRACE(workers);
+    SimulationService service(workload_.environment, workers);
+    service.set_cache_policy(cache::CachePolicy::kShared);
+    const auto fitness = service.fitness_batch(
+        batch, truth_.fire_lines[0], truth_.fire_lines[1], 0.0,
+        truth_.step_minutes);
+    ASSERT_EQ(fitness.size(), expected.size());
+    for (std::size_t i = 0; i < fitness.size(); ++i)
+      EXPECT_EQ(fitness[i], expected[i]);  // bitwise, not approximate
+    EXPECT_EQ(service.cache_misses(), scenarios_.size());
+    EXPECT_EQ(service.cache_hits(), batch.size() - scenarios_.size());
+    EXPECT_EQ(service.simulations_run(), scenarios_.size());
+    EXPECT_EQ(service.cache_entries(), scenarios_.size());
+    EXPECT_GT(service.cache_bytes(), 0u);
+  }
+}
+
+TEST_F(SimulationServiceTest, SharedPolicySurvivesContextChanges) {
+  // The step cache is wiped on a context change; the shared cache is
+  // context-qualified instead, so returning to an earlier interval hits.
+  SimulationService service(workload_.environment, 1);
+  service.set_cache_policy(cache::CachePolicy::kShared);
+  service.fitness_batch(scenarios_, truth_.fire_lines[0], truth_.fire_lines[1],
+                        0.0, truth_.step_minutes);
+  EXPECT_EQ(service.cache_misses(), scenarios_.size());
+  // Different interval: new context, new keys — misses again.
+  service.fitness_batch(scenarios_, truth_.fire_lines[1], truth_.fire_lines[2],
+                        truth_.step_minutes, 2 * truth_.step_minutes);
+  EXPECT_EQ(service.cache_misses(), 2 * scenarios_.size());
+  // Back to the first interval: pure hits, no new simulations.
+  service.fitness_batch(scenarios_, truth_.fire_lines[0], truth_.fire_lines[1],
+                        0.0, truth_.step_minutes);
+  EXPECT_EQ(service.cache_hits(), scenarios_.size());
+  EXPECT_EQ(service.simulations_run(), 2 * scenarios_.size());
+  EXPECT_EQ(service.cache_entries(), 2 * scenarios_.size());
+}
+
+TEST_F(SimulationServiceTest, SharedCacheIsSharedAcrossServices) {
+  // Two services (think: two concurrent campaign jobs over the same fire)
+  // installing one SharedScenarioCache reuse each other's simulations.
+  auto shared = std::make_shared<cache::SharedScenarioCache>();
+  SimulationService first(workload_.environment, 1);
+  first.set_cache_policy(cache::CachePolicy::kShared);
+  first.set_shared_cache(shared);
+  SimulationService second(workload_.environment, 1);
+  second.set_cache_policy(cache::CachePolicy::kShared);
+  second.set_shared_cache(shared);
+
+  const auto expected = first.fitness_batch(
+      scenarios_, truth_.fire_lines[0], truth_.fire_lines[1], 0.0,
+      truth_.step_minutes);
+  const auto fitness = second.fitness_batch(
+      scenarios_, truth_.fire_lines[0], truth_.fire_lines[1], 0.0,
+      truth_.step_minutes);
+  ASSERT_EQ(fitness.size(), expected.size());
+  for (std::size_t i = 0; i < fitness.size(); ++i)
+    EXPECT_EQ(fitness[i], expected[i]);
+  EXPECT_EQ(second.cache_hits(), scenarios_.size());
+  EXPECT_EQ(second.simulations_run(), 0u);
+  EXPECT_EQ(shared->stats().entries, scenarios_.size());
+}
+
+TEST_F(SimulationServiceTest, SharedCacheIsolatesDifferentEnvironments) {
+  // Regression: the simulation-identity context must fingerprint the
+  // terrain, not just the start map. Two jobs over different environments
+  // can share a byte-identical single-cell start map and identical
+  // scenarios; serving one job's map to the other would silently simulate
+  // on the wrong terrain.
+  firelib::IgnitionMap start(32, 32, firelib::kNeverIgnited);
+  start(16, 16) = 0.0;
+  const synth::Workload hills = synth::make_hills(32);
+
+  auto shared = std::make_shared<cache::SharedScenarioCache>();
+  SimulationService on_plains(workload_.environment, 1);
+  on_plains.set_cache_policy(cache::CachePolicy::kShared);
+  on_plains.set_shared_cache(shared);
+  SimulationService on_hills(hills.environment, 1);
+  on_hills.set_cache_policy(cache::CachePolicy::kShared);
+  on_hills.set_shared_cache(shared);
+  SimulationService on_hills_uncached(hills.environment, 1);
+  on_hills_uncached.set_cache_policy(cache::CachePolicy::kOff);
+
+  const auto plains_maps = on_plains.simulate_batch(scenarios_, start, 90.0);
+  const auto hills_maps = on_hills.simulate_batch(scenarios_, start, 90.0);
+  const auto expected = on_hills_uncached.simulate_batch(scenarios_, start,
+                                                         90.0);
+  ASSERT_EQ(hills_maps.size(), expected.size());
+  std::size_t spreads_differ = 0;
+  for (std::size_t i = 0; i < hills_maps.size(); ++i) {
+    EXPECT_EQ(hills_maps[i], expected[i]);
+    if (!(hills_maps[i] == plains_maps[i])) ++spreads_differ;
+  }
+  // Slow scenarios may not spread at all on either terrain, but the batch
+  // must contain fires whose plains and hills footprints disagree — the
+  // case a terrain-blind cache would corrupt.
+  EXPECT_GT(spreads_differ, 0u);
+  EXPECT_EQ(on_hills.cache_hits(), 0u)
+      << "another environment's entries must not hit";
+}
+
+TEST_F(SimulationServiceTest, StepCacheSaturationIsObservable) {
+  // The step cache stops inserting at its capacity backstop; that used to
+  // be silent — now entries/bytes/insertions_rejected surface it.
+  SimulationService service(workload_.environment, 1);
+  service.set_step_cache_capacity(4);
+  service.fitness_batch(scenarios_, truth_.fire_lines[0], truth_.fire_lines[1],
+                        0.0, truth_.step_minutes);
+  EXPECT_EQ(service.cache_entries(), 4u);
+  EXPECT_GT(service.cache_bytes(), 0u);
+  EXPECT_EQ(service.cache_insertions_rejected(), scenarios_.size() - 4);
+  // Hit/miss accounting is unchanged by saturation (bit-for-bit contract).
+  EXPECT_EQ(service.cache_misses(), scenarios_.size());
+  EXPECT_EQ(service.cache_evictions(), 0u);  // step mode never evicts
+}
+
 TEST_F(SimulationServiceTest, ReferenceKernelsMatchFastKernels) {
   SimulationService fast(workload_.environment, 1);
   fast.set_cache_enabled(false);

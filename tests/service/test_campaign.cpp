@@ -211,8 +211,99 @@ TEST(CampaignReport, SummaryJsonCarriesThroughput) {
   EXPECT_NE(json.find("\"jobs\":4"), std::string::npos);
   EXPECT_NE(json.find("\"jobs_per_second\":"), std::string::npos);
   EXPECT_NE(json.find("\"mean_quality\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_policy\":\"step\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_evictions\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_bytes\":"), std::string::npos);
+  // One row per job plus the campaign-wide cache/quality rollup row.
   const TextTable table = campaign_summary_table(result);
-  EXPECT_EQ(table.row_count(), result.jobs.size());
+  EXPECT_EQ(table.row_count(), result.jobs.size() + 1);
+}
+
+TEST(CampaignScheduler, SharedCacheBitIdenticalToOffAcrossConcurrency) {
+  // The acceptance property of the shared cache: every cached value is a
+  // byte-exact pure function of its key, so a campaign run with the shared
+  // cache — at any job concurrency, even with a budget tiny enough to force
+  // eviction — produces bit-identical per-job results to running with the
+  // cache off.
+  const auto workloads = tiny_workloads();
+  constexpr std::size_t kTinyBudget = std::size_t{64} << 10;  // forces eviction
+
+  auto run_with = [&](cache::CachePolicy policy, unsigned jobs,
+                      std::size_t mem_bytes) {
+    CampaignConfig config = tiny_config();
+    config.job_concurrency = jobs;
+    config.total_workers = jobs;
+    config.cache_policy = policy;
+    if (mem_bytes != 0) config.cache_mem_bytes = mem_bytes;
+    return CampaignScheduler(config).run(workloads);
+  };
+
+  const CampaignResult off = run_with(cache::CachePolicy::kOff, 1, 0);
+  ASSERT_EQ(off.succeeded(), workloads.size());
+  EXPECT_EQ(off.cache_hits(), 0u);
+
+  struct Case {
+    unsigned jobs;
+    std::size_t mem_bytes;  // 0 = default budget
+  };
+  for (const Case c : {Case{1, 0}, Case{4, 0}, Case{1, kTinyBudget},
+                       Case{4, kTinyBudget}}) {
+    SCOPED_TRACE("jobs=" + std::to_string(c.jobs) +
+                 " mem=" + std::to_string(c.mem_bytes));
+    const CampaignResult shared =
+        run_with(cache::CachePolicy::kShared, c.jobs, c.mem_bytes);
+    ASSERT_EQ(shared.jobs.size(), off.jobs.size());
+    for (std::size_t i = 0; i < off.jobs.size(); ++i) {
+      const JobRecord& a = off.jobs[i];
+      const JobRecord& b = shared.jobs[i];
+      EXPECT_EQ(a.status, b.status);
+      ASSERT_EQ(a.result.steps.size(), b.result.steps.size());
+      for (std::size_t s = 0; s < a.result.steps.size(); ++s) {
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(a.result.steps[s].kign, b.result.steps[s].kign);
+        EXPECT_EQ(a.result.steps[s].calibration_fitness,
+                  b.result.steps[s].calibration_fitness);
+        EXPECT_EQ(a.result.steps[s].best_os_fitness,
+                  b.result.steps[s].best_os_fitness);
+        EXPECT_EQ(a.result.steps[s].prediction_quality,
+                  b.result.steps[s].prediction_quality);
+        EXPECT_EQ(a.result.steps[s].os_evaluations,
+                  b.result.steps[s].os_evaluations);
+      }
+    }
+    EXPECT_GT(shared.cache_hits(), 0u);
+    EXPECT_LE(shared.shared_cache_stats.bytes, shared.cache_mem_bytes)
+        << "shared cache must stay within its byte budget";
+    if (c.mem_bytes != 0) {
+      EXPECT_GT(shared.shared_cache_stats.evictions +
+                    shared.shared_cache_stats.insertions_rejected,
+                0u)
+          << "tiny budget should force eviction";
+    } else {
+      EXPECT_GT(shared.shared_cache_stats.entries, 0u);
+    }
+  }
+}
+
+TEST(CampaignScheduler, InjectedSharedCacheWarmsAcrossCampaigns) {
+  // A pre-warmed cache handed to a second identical campaign turns nearly
+  // every simulation into a hit — the cross-campaign sharing the layer
+  // exists for.
+  const auto workloads = tiny_workloads();
+  CampaignConfig config = tiny_config();
+  config.cache_policy = cache::CachePolicy::kShared;
+  config.shared_cache = std::make_shared<cache::SharedScenarioCache>();
+
+  const CampaignResult cold = CampaignScheduler(config).run(workloads);
+  ASSERT_EQ(cold.succeeded(), workloads.size());
+  const CampaignResult warm = CampaignScheduler(config).run(workloads);
+  ASSERT_EQ(warm.succeeded(), workloads.size());
+
+  EXPECT_GT(warm.cache_hit_rate(), cold.cache_hit_rate());
+  for (std::size_t i = 0; i < cold.jobs.size(); ++i)
+    EXPECT_EQ(cold.jobs[i].result.mean_quality(),
+              warm.jobs[i].result.mean_quality())
+        << "warm hits must not change results";
 }
 
 TEST(CampaignReport, JsonEscapeHandlesSpecials) {
