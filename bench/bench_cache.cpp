@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "cache/scenario_cache.hpp"
 #include "service/campaign.hpp"
 #include "synth/catalog.hpp"
@@ -197,6 +198,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n  \"benchmark\": \"scenario_cache\",\n");
+  std::fprintf(out, "  \"hardware\": {%s},\n",
+               benchmain::hardware_json_fields().c_str());
   std::fprintf(out, "  \"quick\": %s,\n  \"workloads\": %zu,\n",
                quick ? "true" : "false", workloads.size());
   std::fprintf(out, "  \"grid\": %d,\n  \"generations\": %d,\n",

@@ -23,6 +23,7 @@
 #include <cstring>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "core/novelty.hpp"
@@ -247,6 +248,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n  \"benchmark\": \"hotpath\",\n");
+  std::fprintf(out, "  \"hardware\": {%s},\n",
+               benchmain::hardware_json_fields().c_str());
   std::fprintf(out, "  \"grid\": %d,\n  \"quick\": %s,\n", grid,
                quick ? "true" : "false");
   std::fprintf(out,

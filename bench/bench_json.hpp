@@ -1,14 +1,68 @@
-// Shared main() body for the Google Benchmark targets: in addition to the
-// console report, write machine-readable JSON (BENCH_<name>.json) by default
-// so the perf trajectory can be tracked across PRs. An explicit
-// --benchmark_out on the command line wins over the default.
+// Shared helpers for the benchmark executables.
+//
+// 1. Hardware provenance: every BENCH_*.json records the host it ran on —
+//    core count, NUMA node count, detected SIMD ISA — plus the settings the
+//    run was launched with, so numbers from different machines/configs are
+//    never compared blind. Plain-main benches embed hardware_json_fields()
+//    into their hand-written JSON; Google Benchmark targets get the same
+//    facts via AddCustomContext (inside the JSON "context" object).
+// 2. run_all(): shared main() body for the Google Benchmark targets — in
+//    addition to the console report, write machine-readable JSON
+//    (BENCH_<name>.json) by default so the perf trajectory can be tracked
+//    across PRs. An explicit --benchmark_out on the command line wins.
+//    Compiled only when the includer already included benchmark.h; the
+//    plain-main benches include this header without it.
 #pragma once
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "common/simd.hpp"
+#include "parallel/affinity.hpp"
+
+namespace essns::benchmain {
+
+/// Host facts every benchmark JSON should carry.
+struct HardwareInfo {
+  unsigned cores = 0;        ///< logical cpus the runtime reports
+  std::size_t numa_nodes = 0;  ///< NUMA nodes with cpus (sysfs discovery)
+  std::size_t numa_cpus = 0;   ///< cpus covered by those nodes
+  simd::Isa simd_isa = simd::Isa::kScalar;  ///< best ISA this host supports
+};
+
+inline HardwareInfo detect_hardware() {
+  HardwareInfo info;
+  info.cores = std::max(1u, std::thread::hardware_concurrency());
+  const parallel::NumaTopology& topology = parallel::system_numa_topology();
+  info.numa_nodes = topology.node_count();
+  info.numa_cpus = topology.cpu_count();
+  info.simd_isa = simd::detected_isa();
+  return info;
+}
+
+/// The provenance facts as JSON object *fields* (no surrounding braces), so
+/// plain-main benches can splice them into their hand-written documents:
+///   "cores": 64, "numa_nodes": 2, "numa_cpus": 64, "simd_detected": "avx2"
+inline std::string hardware_json_fields() {
+  const HardwareInfo info = detect_hardware();
+  std::string json;
+  json += "\"cores\": " + std::to_string(info.cores);
+  json += ", \"numa_nodes\": " + std::to_string(info.numa_nodes);
+  json += ", \"numa_cpus\": " + std::to_string(info.numa_cpus);
+  json += std::string(", \"simd_detected\": \"") +
+          simd::to_string(info.simd_isa) + "\"";
+  return json;
+}
+
+}  // namespace essns::benchmain
+
+// Compiled only when the includer pulled in Google Benchmark first (the
+// gbench targets do; the plain-main benches must not — even including
+// benchmark.h plants a static initializer that needs the library linked).
+#ifdef BENCHMARK_BENCHMARK_H_
 
 namespace essns::benchmain {
 
@@ -24,6 +78,12 @@ inline int run_all(int argc, char** argv, const char* default_out) {
     args.push_back(out_flag.data());
     args.push_back(format_flag.data());
   }
+  const HardwareInfo info = detect_hardware();
+  benchmark::AddCustomContext("cores", std::to_string(info.cores));
+  benchmark::AddCustomContext("numa_nodes", std::to_string(info.numa_nodes));
+  benchmark::AddCustomContext("numa_cpus", std::to_string(info.numa_cpus));
+  benchmark::AddCustomContext("simd_detected",
+                              simd::to_string(info.simd_isa));
   int count = static_cast<int>(args.size());
   benchmark::Initialize(&count, args.data());
   if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
@@ -33,3 +93,5 @@ inline int run_all(int argc, char** argv, const char* default_out) {
 }
 
 }  // namespace essns::benchmain
+
+#endif  // BENCHMARK_BENCHMARK_H_

@@ -31,7 +31,7 @@ void print_help() {
       "single run\n"
       "  keys: workload size method seed generations fitness_threshold\n"
       "        population offspring workers novelty_k islands cache\n"
-      "        cache_mem\n"
+      "        cache_mem simd numa\n"
       "  methods:");
   for (const auto& m : ess::RunSpec::known_methods())
     std::printf(" %s", m.c_str());
@@ -54,6 +54,17 @@ void print_help() {
       "    --cache-mem M  shared-cache byte budget in MiB (default 256;\n"
       "                   entries are charged by stored map bytes and\n"
       "                   evicted cost-aware when the budget is exceeded)\n"
+      "    --simd K       relax-kernel selection (also valid in single-run\n"
+      "                   mode); results are bit-identical either way:\n"
+      "                     auto    AVX2 when the host supports it (default)\n"
+      "                     avx2    request AVX2 (falls back to scalar on\n"
+      "                             hosts without it)\n"
+      "                     scalar  the scalar oracle kernel\n"
+      "    --numa P       NUMA-aware worker placement (also valid in\n"
+      "                   single-run mode): off | auto | on. auto (default)\n"
+      "                   pins simulation workers to nodes only on\n"
+      "                   multi-node hosts; performance-only, results are\n"
+      "                   bit-identical at any setting\n"
       "    --catalog F    read a catalog spec (key=value file) instead of\n"
       "                   the built-in default catalog (8 workloads)\n"
       "  campaign keys: method seed generations fitness_threshold population\n"
@@ -122,6 +133,27 @@ cache::CachePolicy require_cache_policy(const char* flag,
   return *policy;
 }
 
+simd::Mode require_simd_mode(const char* flag, const std::string& value) {
+  const auto mode = simd::parse_simd_mode(value);
+  if (!mode) {
+    std::fprintf(stderr, "%s expects auto|avx2|scalar, got '%s'\n", flag,
+                 value.c_str());
+    std::exit(1);
+  }
+  return *mode;
+}
+
+parallel::NumaMode require_numa_mode(const char* flag,
+                                     const std::string& value) {
+  const auto mode = parallel::parse_numa_mode(value);
+  if (!mode) {
+    std::fprintf(stderr, "%s expects off|auto|on, got '%s'\n", flag,
+                 value.c_str());
+    std::exit(1);
+  }
+  return *mode;
+}
+
 int run_campaign(int argc, char** argv) {
   service::CampaignConfig config;
   // Catalog files accumulate in flag order; inline catalog keys go after
@@ -140,7 +172,8 @@ int run_campaign(int argc, char** argv) {
       return 0;
     }
     if (arg == "--jobs" || arg == "--workers" || arg == "--cache" ||
-        arg == "--cache-mem" || arg == "--catalog") {
+        arg == "--cache-mem" || arg == "--simd" || arg == "--numa" ||
+        arg == "--catalog") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s expects a value\n", arg.c_str());
         return 1;
@@ -159,6 +192,10 @@ int run_campaign(int argc, char** argv) {
             static_cast<std::size_t>(
                 require_positive_int("--cache-mem", value))
             << 20;
+      } else if (arg == "--simd") {
+        config.simd_mode = require_simd_mode("--simd", value);
+      } else if (arg == "--numa") {
+        config.numa_mode = require_numa_mode("--numa", value);
       } else {
         std::ifstream file(value);
         if (!file) {
@@ -294,6 +331,22 @@ int run_single(int argc, char** argv) {
         return 1;
       }
       config_text << "cache_mem=" << argv[++i] << '\n';
+      continue;
+    }
+    if (std::strcmp(argv[i], "--simd") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--simd expects a value\n");
+        return 1;
+      }
+      config_text << "simd=" << argv[++i] << '\n';
+      continue;
+    }
+    if (std::strcmp(argv[i], "--numa") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--numa expects a value\n");
+        return 1;
+      }
+      config_text << "numa=" << argv[++i] << '\n';
       continue;
     }
     if (argv[i][0] == '@') {

@@ -18,23 +18,33 @@ inline double mean(std::span<const double> xs) {
   return sum / static_cast<double>(xs.size());
 }
 
+/// Sample variance in one pass (Welford's recurrence): no materialized mean,
+/// one read of the data, and the update is numerically stable where the
+/// textbook sum-of-squares form cancels catastrophically on large offsets.
 inline double variance(std::span<const double> xs) {
   ESSNS_REQUIRE(xs.size() >= 2, "variance needs at least two samples");
-  const double m = mean(xs);
-  double acc = 0.0;
-  for (double x : xs) acc += (x - m) * (x - m);
-  return acc / static_cast<double>(xs.size() - 1);
+  double running_mean = 0.0;
+  double m2 = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    ++n;
+    const double delta = x - running_mean;
+    running_mean += delta / static_cast<double>(n);
+    m2 += delta * (x - running_mean);
+  }
+  return m2 / static_cast<double>(xs.size() - 1);
 }
 
 inline double stddev(std::span<const double> xs) {
   return std::sqrt(variance(xs));
 }
 
-/// Linear-interpolated quantile (type-7, as in R/numpy). q in [0, 1].
-inline double quantile(std::vector<double> xs, double q) {
+/// Linear-interpolated quantile (type-7, as in R/numpy) over an
+/// already-sorted sample. q in [0, 1]. Callers that need several quantiles
+/// of one sample sort once and read them all from here.
+inline double quantile_sorted(std::span<const double> xs, double q) {
   ESSNS_REQUIRE(!xs.empty(), "quantile of empty sample");
   ESSNS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
-  std::sort(xs.begin(), xs.end());
   const double pos = q * static_cast<double>(xs.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);
@@ -42,12 +52,22 @@ inline double quantile(std::vector<double> xs, double q) {
   return xs[lo] + frac * (xs[hi] - xs[lo]);
 }
 
+/// Linear-interpolated quantile (type-7) of an unsorted sample.
+inline double quantile(std::vector<double> xs, double q) {
+  ESSNS_REQUIRE(!xs.empty(), "quantile of empty sample");
+  std::sort(xs.begin(), xs.end());
+  return quantile_sorted(xs, q);
+}
+
 inline double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
 
 /// Interquartile range Q3 - Q1; the dispersion statistic used by the
 /// ESSIM-DE dynamic tuning metric (Caymes-Scutari et al., CACIC 2019).
-inline double iqr(const std::vector<double>& xs) {
-  return quantile(xs, 0.75) - quantile(xs, 0.25);
+/// Sorts the (by-value) sample once and reads both quartiles from it.
+inline double iqr(std::vector<double> xs) {
+  ESSNS_REQUIRE(!xs.empty(), "iqr of empty sample");
+  std::sort(xs.begin(), xs.end());
+  return quantile_sorted(xs, 0.75) - quantile_sorted(xs, 0.25);
 }
 
 }  // namespace essns

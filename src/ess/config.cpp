@@ -97,6 +97,20 @@ RunSpec parse_run_spec(std::istream& in) {
     }
     else if (key == "cache_mem")
       spec.cache_mem_mb = static_cast<std::size_t>(as_int(1));
+    else if (key == "simd") {
+      const auto mode = simd::parse_simd_mode(value);
+      if (!mode)
+        throw InvalidArgument(
+            "config key 'simd' expects auto|avx2|scalar, got: " + value);
+      spec.simd_mode = *mode;
+    }
+    else if (key == "numa") {
+      const auto mode = parallel::parse_numa_mode(value);
+      if (!mode)
+        throw InvalidArgument(
+            "config key 'numa' expects off|auto|on, got: " + value);
+      spec.numa_mode = *mode;
+    }
     else throw InvalidArgument("unknown config key: " + key);
   }
   const auto& methods = RunSpec::known_methods();
@@ -197,6 +211,8 @@ PipelineResult run_spec(const RunSpec& spec) {
   config.workers = spec.workers;
   config.cache_policy = spec.cache_policy;
   config.cache_mem_bytes = spec.cache_mem_mb << 20;
+  config.simd_mode = spec.simd_mode;
+  config.numa_mode = spec.numa_mode;
   PredictionPipeline pipeline(workload.environment, truth, config);
   auto optimizer = make_optimizer(spec);
   return pipeline.run(*optimizer, rng);

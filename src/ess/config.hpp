@@ -16,6 +16,8 @@
 //   cache      off | step | shared — scenario memoization policy (step;
 //              legacy on/off spellings still parse as step/off)
 //   cache_mem  shared-cache byte budget, MiB      (256)
+//   simd       auto | avx2 | scalar — relax-kernel selection (auto)
+//   numa       off | auto | on — NUMA-aware worker placement (auto)
 // Lines starting with '#' and blank lines are ignored.
 #pragma once
 
@@ -25,8 +27,10 @@
 #include <string>
 
 #include "cache/scenario_cache.hpp"
+#include "common/simd.hpp"
 #include "ess/monitor.hpp"
 #include "ess/optimizer.hpp"
+#include "parallel/affinity.hpp"
 #include "synth/workloads.hpp"
 
 namespace essns::ess {
@@ -46,6 +50,10 @@ struct RunSpec {
   /// Scenario memoization policy (results bit-identical either way).
   cache::CachePolicy cache_policy = cache::CachePolicy::kStep;
   std::size_t cache_mem_mb = 256;  ///< shared-cache byte budget (MiB)
+  /// Relax-kernel selection (results bit-identical at any setting).
+  simd::Mode simd_mode = simd::Mode::kAuto;
+  /// NUMA-aware worker placement (performance-only).
+  parallel::NumaMode numa_mode = parallel::NumaMode::kAuto;
 
   /// All method names parse_run_spec accepts.
   static const std::vector<std::string>& known_methods();

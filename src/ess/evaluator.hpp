@@ -61,6 +61,16 @@ class ScenarioEvaluator {
   unsigned workers() const { return service_.workers(); }
   std::size_t simulations_run() const { return service_.simulations_run(); }
 
+  /// Relax-kernel and NUMA-placement knobs (see SimulationService); both
+  /// are performance-only — results are bit-identical at any setting.
+  void set_simd_mode(simd::Mode mode) { service_.set_simd_mode(mode); }
+  simd::Mode simd_mode() const { return service_.simd_mode(); }
+  simd::Isa simd_isa() const { return service_.simd_isa(); }
+  void set_numa_mode(parallel::NumaMode mode) { service_.set_numa_mode(mode); }
+  parallel::NumaMode numa_mode() const { return service_.numa_mode(); }
+  bool numa_active() const { return service_.numa_active(); }
+  std::size_t workers_pinned() const { return service_.workers_pinned(); }
+
   /// Scenario-cache controls and counters (see SimulationService).
   void set_cache_policy(cache::CachePolicy policy) {
     service_.set_cache_policy(policy);

@@ -1,5 +1,6 @@
 #include "ess/simulation_service.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/error.hpp"
@@ -13,6 +14,7 @@ SimulationService::SimulationService(const firelib::FireEnvironment& env,
     : env_(&env), propagator_(spread_model_) {
   ESSNS_REQUIRE(workers >= 1, "need at least one worker");
   workspaces_.resize(workers > 1 ? workers + 1 : 1);
+  worker_placed_.assign(workspaces_.size(), 0);
   if (workers > 1) {
     pool_ = std::make_unique<
         parallel::MasterWorker<const SimulationRequest*, SimulationResult>>(
@@ -83,9 +85,52 @@ firelib::SweepQueue SimulationService::sweep_queue() const {
   return propagator_.sweep_queue();
 }
 
+void SimulationService::set_simd_mode(simd::Mode mode) {
+  propagator_.set_simd_mode(mode);
+}
+
+simd::Mode SimulationService::simd_mode() const {
+  return propagator_.simd_mode();
+}
+
+simd::Isa SimulationService::simd_isa() const {
+  return propagator_.simd_isa();
+}
+
+void SimulationService::set_numa_mode(parallel::NumaMode mode) {
+  numa_mode_ = mode;
+  std::fill(worker_placed_.begin(), worker_placed_.end(), 0);
+}
+
+bool SimulationService::numa_active() const {
+  return parallel::numa_pinning_active(numa_mode_,
+                                       parallel::system_numa_topology());
+}
+
+std::size_t SimulationService::numa_nodes() const {
+  return parallel::system_numa_topology().node_count();
+}
+
+void SimulationService::place_worker(unsigned worker_id) {
+  if (worker_placed_[worker_id]) return;
+  worker_placed_[worker_id] = 1;
+  const parallel::NumaTopology& topology = parallel::system_numa_topology();
+  if (!parallel::numa_pinning_active(numa_mode_, topology)) return;
+  if (worker_id > 0) {
+    const std::size_t node =
+        parallel::node_for_worker(topology, worker_id - 1);
+    if (parallel::pin_current_thread_to_cpus(topology.nodes[node].cpus))
+      workers_pinned_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // First-touch every slab from the (now pinned) owning thread, so the
+  // pages are committed on this worker's node before the first sweep.
+  workspaces_[worker_id].prefault(env_->rows(), env_->cols());
+}
+
 firelib::IgnitionMap SimulationService::simulate(
     const firelib::Scenario& scenario, const firelib::IgnitionMap& start,
     double end_time) {
+  place_worker(0);
   simulations_.fetch_add(1, std::memory_order_relaxed);
   return propagator_.propagate(*env_, scenario, start, end_time,
                                workspaces_[0]);
@@ -94,6 +139,7 @@ firelib::IgnitionMap SimulationService::simulate(
 SimulationResult SimulationService::run_one(unsigned worker_id,
                                             const SimulationRequest& req) {
   ESSNS_REQUIRE(req.scenario && req.start, "request scenario/start must be set");
+  place_worker(worker_id);
   simulations_.fetch_add(1, std::memory_order_relaxed);
   Stopwatch watch;
   firelib::PropagationWorkspace& workspace = workspaces_[worker_id];

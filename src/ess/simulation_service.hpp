@@ -44,6 +44,7 @@
 #include "cache/scenario_cache.hpp"
 #include "firelib/environment.hpp"
 #include "firelib/propagator.hpp"
+#include "parallel/affinity.hpp"
 #include "parallel/master_worker.hpp"
 
 namespace essns::ess {
@@ -146,6 +147,31 @@ class SimulationService {
   void set_sweep_queue(firelib::SweepQueue queue);
   firelib::SweepQueue sweep_queue() const;
 
+  /// Select the propagator's relax kernel (default simd::Mode::kAuto).
+  /// Scalar and AVX2 kernels are bit-identical (relax_kernel.hpp); the knob
+  /// exists so equivalence tests and bench_sweep can measure both.
+  void set_simd_mode(simd::Mode mode);
+  simd::Mode simd_mode() const;
+  /// What the mode resolved to on this host (runtime dispatch result).
+  simd::Isa simd_isa() const;
+
+  /// NUMA-aware worker placement (default kAuto: active only on hosts with
+  /// more than one node). When active, each pool worker pins itself to its
+  /// round-robin node's cpuset at its first task and first-touches every
+  /// slab of its PropagationWorkspace (prefault), so workspace pages live
+  /// on the worker's node under Linux's first-touch policy. Placement is a
+  /// scheduling hint only — results are bit-identical at any setting.
+  /// Setting a mode re-arms placement; it takes effect at each worker's
+  /// next task.
+  void set_numa_mode(parallel::NumaMode mode);
+  parallel::NumaMode numa_mode() const { return numa_mode_; }
+  /// Whether the current mode pins on this host's topology.
+  bool numa_active() const;
+  /// NUMA nodes the placement round-robins over.
+  std::size_t numa_nodes() const;
+  /// Pool workers that successfully pinned so far (master never pins).
+  std::size_t workers_pinned() const { return workers_pinned_.load(); }
+
   /// One simulation on the calling thread (master workspace).
   firelib::IgnitionMap simulate(const firelib::Scenario& scenario,
                                 const firelib::IgnitionMap& start,
@@ -184,6 +210,12 @@ class SimulationService {
     friend bool operator==(const CacheContext&, const CacheContext&) = default;
   };
 
+  /// Lazy one-shot placement of workspace slot `worker_id` on its owning
+  /// thread: pool workers (id > 0) pin to their node's cpuset, then every
+  /// slot prefaults its workspace so first-touch lands post-pin. Each slot
+  /// is only ever touched by its own thread, so no synchronization beyond
+  /// the pinned-worker counter.
+  void place_worker(unsigned worker_id);
   SimulationResult run_one(unsigned worker_id, const SimulationRequest& req);
   std::vector<SimulationResult> run_batch_uncached(
       const std::vector<const SimulationRequest*>& requests);
@@ -199,6 +231,12 @@ class SimulationService {
   /// workspaces_[0] belongs to the calling thread; pool worker `id` uses
   /// workspaces_[id + 1].
   std::vector<firelib::PropagationWorkspace> workspaces_;
+  /// worker_placed_[id]: slot id has run its one-shot placement. Written
+  /// only by the slot's owning thread; reset (master-side, between batches)
+  /// by set_numa_mode.
+  std::vector<std::uint8_t> worker_placed_;
+  parallel::NumaMode numa_mode_ = parallel::NumaMode::kAuto;
+  std::atomic<std::size_t> workers_pinned_{0};
   mutable std::atomic<std::size_t> simulations_{0};
   std::unique_ptr<parallel::MasterWorker<const SimulationRequest*,
                                          SimulationResult>>

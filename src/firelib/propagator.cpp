@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "firelib/relax_kernel.hpp"
 
 namespace essns::firelib {
 namespace {
@@ -212,6 +213,37 @@ class DialSweepQueue {
 };
 
 }  // namespace
+
+void PropagationWorkspace::prefault(int rows, int cols) {
+  ESSNS_REQUIRE(rows > 0 && cols > 0, "prefault dimensions must be positive");
+  const std::size_t cells =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+
+  // The map and per-cell slabs: sized exactly as a sweep would size them,
+  // written through so every page is touched.
+  if (times_.rows() != rows || times_.cols() != cols)
+    times_ = IgnitionMap(rows, cols, kNeverIgnited);
+  else
+    times_.fill(kNeverIgnited);
+  cell_epoch_.assign(cells, 0);
+  cell_behavior_.assign(cells, FireBehavior{});
+  cell_behavior_ready_.assign(cells, 0);
+
+  // Queue storage. The heap and dial arenas are capacity-only in steady
+  // state, so commit their pages with a throwaway fill, then clear — the
+  // capacity (and the now-local pages) survive. Bucket slabs mirror
+  // DialSweepQueue's sizing; dial_dirty_ stays true so the next sweep
+  // re-initializes heads and occupancy words exactly as after growth.
+  heap_.assign(cells, HeapEntry{});
+  heap_.clear();
+  dial_entries_.assign(cells, DialEntry{});
+  dial_entries_.clear();
+  const std::size_t num_buckets =
+      std::clamp<std::size_t>(cells, 64, std::size_t{1} << 16);
+  bucket_head_.assign(num_buckets, kNilEntry);
+  bucket_bits_.assign((num_buckets + 63) / 64, 0);
+  dial_dirty_ = true;
+}
 
 Grid<std::uint8_t> burned_mask(const IgnitionMap& map, double time_min) {
   ESSNS_REQUIRE(std::isfinite(time_min),
@@ -430,12 +462,40 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
       return &workspace.travel_time_[idx];
     };
 
+    // Runtime-dispatched relax kernel: interior cells take the AVX2 8-lane
+    // kernel when the --simd mode resolves to it; border cells (and every
+    // cell under scalar) run the retained scalar loop. Surviving lanes are
+    // applied in ascending-k order, so stores and pushes are sequenced
+    // exactly like the scalar loop's — bit-identical maps AND identical
+    // push order, under both queue disciplines (the dial's bucket drains
+    // feed whole frontier batches through this same kernel).
+    const bool vector_relax = simd_isa_ == simd::Isa::kAvx2;
+    const NeighbourOffsets offsets = NeighbourOffsets::for_cols(cols);
+
     sweep_with([&](double time, std::size_t cell_idx, auto& queue) {
       const int r = static_cast<int>(cell_idx / static_cast<std::size_t>(cols));
       const int c = static_cast<int>(cell_idx % static_cast<std::size_t>(cols));
       const auto* tt = travel_row(fuel ? static_cast<int>(fuel[cell_idx])
                                        : scenario.model);
       if (!tt) return;
+
+      if (vector_relax && r > 0 && r + 1 < rows && c > 0 && c + 1 < cols) {
+        alignas(32) double arrivals[8];
+        unsigned admit =
+            relax8_candidates_avx2(tt->data(), t, fuel, cell_idx, offsets,
+                                   time, horizon_min, arrivals);
+        while (admit != 0) {
+          const unsigned k =
+              static_cast<unsigned>(std::countr_zero(admit));
+          admit &= admit - 1;
+          const std::size_t nidx =
+              cell_idx + static_cast<std::size_t>(
+                             static_cast<std::ptrdiff_t>(offsets.off[k]));
+          t[nidx] = arrivals[k];
+          queue.push(arrivals[k], nidx);
+        }
+        return;
+      }
 
       for (std::size_t k = 0; k < kEightNeighbours.size(); ++k) {
         const int nr = r + kEightNeighbours[k].row;

@@ -13,6 +13,7 @@
 
 #include "common/aligned.hpp"
 #include "common/grid.hpp"
+#include "common/simd.hpp"
 #include "firelib/environment.hpp"
 #include "firelib/rothermel.hpp"
 #include "firelib/scenario.hpp"
@@ -72,6 +73,15 @@ class PropagationWorkspace {
   /// workspace (valid until the next call).
   const IgnitionMap& last_map() const { return times_; }
 
+  /// Size and write through every slab a rows x cols sweep will touch
+  /// (times, epochs, dial buckets and arena, heap, DEM behavior fields), so
+  /// the backing pages are committed from the calling thread. NUMA-aware
+  /// placement calls this from the pinned owning worker at startup: under
+  /// Linux's default first-touch policy all hot memory then lives on the
+  /// worker's node. Results are unaffected — every slab is (re-)initialized
+  /// by the sweep exactly as if it had grown lazily.
+  void prefault(int rows, int cols);
+
   /// Queue entry types (public so the sweep-queue policies in propagator.cpp
   /// can name them; the storage itself stays private).
   struct HeapEntry {
@@ -112,7 +122,10 @@ class PropagationWorkspace {
   std::array<bool, 14> by_model_ready_{};
   /// travel_time_[model][k]: minutes to cross to 8-neighbour k for uniform
   /// topography (kNeverIgnited when the model does not spread that way).
-  std::array<std::array<double, 8>, 14> travel_time_{};
+  /// Cache-line aligned so each 64-byte row feeds the AVX2 relax kernel's
+  /// aligned loads (relax_kernel.hpp relies on this).
+  alignas(kCacheLineBytes) std::array<std::array<double, 8>, 14>
+      travel_time_{};
   /// DEM runs: per-cell behavior cache, valid where cell_behavior_ready_.
   AlignedVector<FireBehavior> cell_behavior_;
   AlignedVector<std::uint8_t> cell_behavior_ready_;
@@ -162,6 +175,20 @@ class FirePropagator {
   void set_sweep_queue(SweepQueue queue) { queue_ = queue; }
   SweepQueue sweep_queue() const { return queue_; }
 
+  /// Select the relax kernel (default simd::Mode::kAuto): the
+  /// uniform-topography inner loop runs the AVX2 8-lane kernel when the
+  /// mode resolves to it, the scalar oracle otherwise. Bit-identical either
+  /// way (relax_kernel.hpp); requesting avx2 on a host without it falls
+  /// back to scalar. The reference sweep and the DEM path (per-direction
+  /// elliptical trig, not table lookups) always run scalar.
+  void set_simd_mode(simd::Mode mode) {
+    simd_mode_ = mode;
+    simd_isa_ = simd::resolve(mode);
+  }
+  simd::Mode simd_mode() const { return simd_mode_; }
+  /// What the mode resolved to on this host (runtime dispatch result).
+  simd::Isa simd_isa() const { return simd_isa_; }
+
  private:
   /// Dijkstra sweep over workspace.times_ (already seeded with source times).
   void run_sweep(const FireEnvironment& env, const Scenario& scenario,
@@ -170,6 +197,8 @@ class FirePropagator {
   const FireSpreadModel* model_;
   bool reference_sweep_ = false;
   SweepQueue queue_ = SweepQueue::kDial;
+  simd::Mode simd_mode_ = simd::Mode::kAuto;
+  simd::Isa simd_isa_ = simd::resolve(simd::Mode::kAuto);
 };
 
 }  // namespace essns::firelib

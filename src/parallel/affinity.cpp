@@ -1,0 +1,157 @@
+#include "parallel/affinity.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace essns::parallel {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// One node covering every cpu the runtime reports — the fallback when the
+/// sysfs tree is missing, and the shape single-socket hosts present anyway.
+NumaTopology single_node_topology() {
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  NumaTopology topology;
+  topology.nodes.push_back(NumaNode{0, {}});
+  topology.nodes[0].cpus.reserve(cpus);
+  for (unsigned cpu = 0; cpu < cpus; ++cpu)
+    topology.nodes[0].cpus.push_back(static_cast<int>(cpu));
+  return topology;
+}
+
+}  // namespace
+
+const char* to_string(NumaMode mode) {
+  switch (mode) {
+    case NumaMode::kOff: return "off";
+    case NumaMode::kAuto: return "auto";
+    case NumaMode::kOn: return "on";
+  }
+  return "off";
+}
+
+std::optional<NumaMode> parse_numa_mode(const std::string& text) {
+  if (text == "off") return NumaMode::kOff;
+  if (text == "auto") return NumaMode::kAuto;
+  if (text == "on") return NumaMode::kOn;
+  return std::nullopt;
+}
+
+std::size_t NumaTopology::cpu_count() const {
+  std::size_t count = 0;
+  for (const NumaNode& node : nodes) count += node.cpus.size();
+  return count;
+}
+
+std::vector<int> parse_cpu_list(const std::string& text) {
+  std::vector<int> cpus;
+  std::istringstream in(trim(text));
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    token = trim(token);
+    if (token.empty()) continue;
+    const auto dash = token.find('-');
+    if (dash == std::string::npos) {
+      const auto cpu = parse_int(token);
+      ESSNS_REQUIRE(cpu.has_value() && *cpu >= 0,
+                    "malformed cpulist entry: " + token);
+      cpus.push_back(*cpu);
+      continue;
+    }
+    const auto lo = parse_int(token.substr(0, dash));
+    const auto hi = parse_int(token.substr(dash + 1));
+    ESSNS_REQUIRE(lo.has_value() && hi.has_value() && *lo >= 0 && *hi >= *lo,
+                  "malformed cpulist range: " + token);
+    for (int cpu = *lo; cpu <= *hi; ++cpu) cpus.push_back(cpu);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+NumaTopology discover_numa_topology() {
+  NumaTopology topology;
+#if defined(__linux__)
+  // Probe node ids directly instead of walking the directory: ids are dense
+  // in practice, and a bounded scan past the first gap tolerates the sparse
+  // numbering some BIOSes produce without pulling in readdir.
+  constexpr int kMaxProbe = 1024;
+  int misses = 0;
+  for (int id = 0; id < kMaxProbe && misses < 16; ++id) {
+    std::ifstream cpulist("/sys/devices/system/node/node" +
+                          std::to_string(id) + "/cpulist");
+    if (!cpulist) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    std::ostringstream text;
+    text << cpulist.rdbuf();
+    std::vector<int> cpus;
+    try {
+      cpus = parse_cpu_list(text.str());
+    } catch (const Error&) {
+      continue;  // unreadable node entry: skip, don't fail discovery
+    }
+    if (cpus.empty()) continue;  // memoryless/cpuless node
+    topology.nodes.push_back(NumaNode{id, std::move(cpus)});
+  }
+#endif
+  if (topology.nodes.empty()) return single_node_topology();
+  return topology;
+}
+
+const NumaTopology& system_numa_topology() {
+  static const NumaTopology topology = discover_numa_topology();
+  return topology;
+}
+
+bool pin_current_thread_to_cpus(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (const int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+bool numa_pinning_active(NumaMode mode, const NumaTopology& topology) {
+  switch (mode) {
+    case NumaMode::kOff: return false;
+    case NumaMode::kOn: return topology.node_count() >= 1;
+    case NumaMode::kAuto: return topology.node_count() > 1;
+  }
+  return false;
+}
+
+std::size_t node_for_worker(const NumaTopology& topology, unsigned worker) {
+  ESSNS_REQUIRE(!topology.nodes.empty(), "empty NUMA topology");
+  return static_cast<std::size_t>(worker) % topology.nodes.size();
+}
+
+}  // namespace essns::parallel

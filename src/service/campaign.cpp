@@ -153,6 +153,8 @@ JobRecord CampaignScheduler::run_job(
     pipeline_config.cache_policy = config_.cache_policy;
     pipeline_config.cache_mem_bytes = config_.cache_mem_bytes;
     pipeline_config.shared_cache = shared_cache;
+    pipeline_config.simd_mode = config_.simd_mode;
+    pipeline_config.numa_mode = config_.numa_mode;
     ess::PredictionPipeline pipeline(workload.environment, truth,
                                      pipeline_config);
 

@@ -62,6 +62,12 @@ struct CampaignConfig {
   /// Pre-warmed cross-campaign cache (kShared only); null makes run()
   /// create a fresh one per campaign.
   std::shared_ptr<cache::SharedScenarioCache> shared_cache;
+  /// Relax-kernel selection for every job's sweeps (bit-identical at any
+  /// setting; kAuto resolves to AVX2 when the host supports it).
+  simd::Mode simd_mode = simd::Mode::kAuto;
+  /// NUMA-aware worker placement for every job's simulation workers
+  /// (kAuto pins only on multi-node hosts).
+  parallel::NumaMode numa_mode = parallel::NumaMode::kAuto;
 
   /// Retain each job's final probability matrix / predicted fire line
   /// (map-export consumers; costs two grids per job).

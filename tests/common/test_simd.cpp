@@ -1,0 +1,50 @@
+#include "common/simd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace essns::simd {
+namespace {
+
+TEST(SimdModeTest, ParseAcceptsTheThreeSpellings) {
+  EXPECT_EQ(parse_simd_mode("auto"), Mode::kAuto);
+  EXPECT_EQ(parse_simd_mode("avx2"), Mode::kAvx2);
+  EXPECT_EQ(parse_simd_mode("scalar"), Mode::kScalar);
+}
+
+TEST(SimdModeTest, ParseRejectsEverythingElse) {
+  EXPECT_EQ(parse_simd_mode(""), std::nullopt);
+  EXPECT_EQ(parse_simd_mode("AVX2"), std::nullopt);
+  EXPECT_EQ(parse_simd_mode("sse"), std::nullopt);
+  EXPECT_EQ(parse_simd_mode("auto "), std::nullopt);
+}
+
+TEST(SimdModeTest, ToStringRoundTrips) {
+  for (Mode mode : {Mode::kAuto, Mode::kAvx2, Mode::kScalar})
+    EXPECT_EQ(parse_simd_mode(to_string(mode)), mode);
+}
+
+TEST(SimdModeTest, ScalarModeAlwaysResolvesScalar) {
+  EXPECT_EQ(resolve(Mode::kScalar), Isa::kScalar);
+}
+
+TEST(SimdModeTest, AutoAndAvx2ResolveToDetection) {
+  // Whatever the host supports, auto and avx2 must agree with detection —
+  // avx2 on an unsupporting host degrades to scalar, never traps.
+  EXPECT_EQ(resolve(Mode::kAuto), detected_isa());
+  EXPECT_EQ(resolve(Mode::kAvx2), detected_isa());
+}
+
+TEST(SimdModeTest, DetectionIsStable) {
+  // cpuid is latched; repeated queries must not flap.
+  const Isa first = detected_isa();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(detected_isa(), first);
+  EXPECT_EQ(cpu_supports_avx2(), first == Isa::kAvx2);
+}
+
+TEST(SimdModeTest, IsaToString) {
+  EXPECT_STREQ(to_string(Isa::kScalar), "scalar");
+  EXPECT_STREQ(to_string(Isa::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace essns::simd

@@ -71,5 +71,47 @@ TEST(StatisticsTest, IqrOfConstantIsZero) {
   EXPECT_DOUBLE_EQ(iqr(xs), 0.0);
 }
 
+TEST(StatisticsTest, IqrOfEmptyThrows) {
+  EXPECT_THROW(iqr(std::vector<double>{}), InvalidArgument);
+}
+
+// Regression pins for the sort-once IQR: exact values on unsorted input,
+// including an interpolating (non-grid-aligned) case, must match the
+// two-quantile definition Q3 - Q1 bit for bit.
+TEST(StatisticsTest, IqrMatchesTwoQuantileDefinition) {
+  const std::vector<double> xs{9.0, 1.0, 7.0, 5.0, 3.0, 8.0};
+  EXPECT_DOUBLE_EQ(iqr(xs), quantile(xs, 0.75) - quantile(xs, 0.25));
+  // n = 6: Q1 at pos 1.25 -> 3 + 0.25*2 = 3.5; Q3 at pos 3.75 -> 7.75.
+  EXPECT_DOUBLE_EQ(iqr(xs), 4.25);
+  const std::vector<double> singleton{42.0};
+  EXPECT_DOUBLE_EQ(iqr(singleton), 0.0);
+}
+
+TEST(StatisticsTest, QuantileSortedReadsBothTailsOfOneSort) {
+  std::vector<double> xs{4.0, 2.0, 1.0, 3.0};
+  std::sort(xs.begin(), xs.end());
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 4.0);
+  EXPECT_THROW(quantile_sorted(xs, 1.5), InvalidArgument);
+  const std::vector<double> empty;
+  EXPECT_THROW(quantile_sorted(empty, 0.5), InvalidArgument);
+}
+
+// Welford regression pins: exact small-sample values, and stability on a
+// large constant offset where the two-pass sum-of-squares form is fine but
+// a naive E[x^2]-E[x]^2 would cancel catastrophically.
+TEST(StatisticsTest, VarianceWelfordPinnedValues) {
+  const std::vector<double> ramp{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(variance(ramp), 5.0 / 3.0);
+  const std::vector<double> pair{-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(variance(pair), 2.0);
+  const double offset = 1e12;
+  const std::vector<double> shifted{offset + 1.0, offset + 2.0, offset + 3.0,
+                                    offset + 4.0};
+  EXPECT_NEAR(variance(shifted), 5.0 / 3.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace essns
