@@ -119,6 +119,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
 
+  // Bench-wide metrics registry: the scrape (cache hit/miss/eviction
+  // counters among others) lands in the JSON below.
+  obs::MetricsRegistry metrics;
+  obs::install_metrics_registry(&metrics);
+
   synth::CatalogSpec spec;  // default catalog: 8 workloads
   spec.sizes = {quick ? 16 : 24};
   spec.steps = quick ? 3 : 4;
@@ -200,6 +205,7 @@ int main(int argc, char** argv) {
   std::fprintf(out, "{\n  \"benchmark\": \"scenario_cache\",\n");
   std::fprintf(out, "  \"hardware\": {%s},\n",
                benchmain::hardware_json_fields().c_str());
+  std::fprintf(out, "  %s,\n", benchmain::metrics_json_field().c_str());
   std::fprintf(out, "  \"quick\": %s,\n  \"workloads\": %zu,\n",
                quick ? "true" : "false", workloads.size());
   std::fprintf(out, "  \"grid\": %d,\n  \"generations\": %d,\n",

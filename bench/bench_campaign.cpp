@@ -77,6 +77,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
 
+  // Bench-wide metrics registry: the scrape (sweep/cache/pool counters and
+  // latency histograms behind the headline numbers) lands in the JSON below.
+  obs::MetricsRegistry metrics;
+  obs::install_metrics_registry(&metrics);
+
   synth::CatalogSpec spec;  // default catalog: 8 workloads
   spec.sizes = {quick ? 16 : 32};
   spec.steps = quick ? 3 : 4;
@@ -142,6 +147,7 @@ int main(int argc, char** argv) {
   std::fprintf(out, "{\n  \"benchmark\": \"campaign_throughput\",\n");
   std::fprintf(out, "  \"hardware\": {%s},\n",
                benchmain::hardware_json_fields().c_str());
+  std::fprintf(out, "  %s,\n", benchmain::metrics_json_field().c_str());
   std::fprintf(out, "  \"workloads\": %zu,\n  \"grid\": %d,\n",
                workloads.size(), spec.sizes.front());
   std::fprintf(out, "  \"generations\": %d,\n  \"total_workers\": %u,\n",

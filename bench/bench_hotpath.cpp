@@ -68,6 +68,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
 
+  // Bench-wide metrics registry: the scrape lands in the JSON below.
+  obs::MetricsRegistry metrics;
+  obs::install_metrics_registry(&metrics);
+
   const int grid = quick ? 48 : 64;
   const int sweep_rounds = quick ? 40 : 120;
   const std::size_t unique_scenarios = quick ? 24 : 48;
@@ -250,6 +254,7 @@ int main(int argc, char** argv) {
   std::fprintf(out, "{\n  \"benchmark\": \"hotpath\",\n");
   std::fprintf(out, "  \"hardware\": {%s},\n",
                benchmain::hardware_json_fields().c_str());
+  std::fprintf(out, "  %s,\n", benchmain::metrics_json_field().c_str());
   std::fprintf(out, "  \"grid\": %d,\n  \"quick\": %s,\n", grid,
                quick ? "true" : "false");
   std::fprintf(out,

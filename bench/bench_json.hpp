@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/simd.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/affinity.hpp"
 
 namespace essns::benchmain {
@@ -55,6 +56,17 @@ inline std::string hardware_json_fields() {
   json += std::string(", \"simd_detected\": \"") +
           simd::to_string(info.simd_isa) + "\"";
   return json;
+}
+
+/// The currently installed metrics registry's scrape as one JSON object
+/// field ("metrics": {...}) for splicing into a BENCH_*.json, so every
+/// benchmark document carries the runtime counters (sweep, cache, pool)
+/// behind its headline numbers. "metrics": null when no registry is
+/// installed.
+inline std::string metrics_json_field() {
+  obs::MetricsRegistry* registry = obs::metrics_registry();
+  if (registry == nullptr) return "\"metrics\": null";
+  return "\"metrics\": " + registry->json();
 }
 
 }  // namespace essns::benchmain

@@ -1,0 +1,195 @@
+// EXP-B7 — observability overhead: the acceptance bench for the obs layer's
+// two contracts on the uniform-sweep hot path.
+//
+//   1. Near-free when off: the disabled path (no recorder, no registry) is a
+//      couple of relaxed atomic loads per instrumentation site, so the
+//      instrumented sweep must run at its PR-6 speed. Measured as an
+//      enabled/disabled wall-clock ratio with an asserted bound — loose
+//      enough for timer noise, tight enough to catch an accidental lock or
+//      allocation on the hot path.
+//   2. Result-neutral when on: the ignition maps produced with tracing +
+//      metrics enabled are bit-identical to the disabled run's.
+//
+// Any violated bound or map divergence makes the binary exit nonzero, which
+// is how CI enforces both contracts. The disabled arm is timed twice —
+// before and after the enabled arm — and the faster of the two is used as
+// the baseline, so ambient machine drift inflates rather than masks the
+// reported overhead.
+//
+// Flags:
+//   --quick            smaller grid/rounds (CI Debug job)
+//   --max-overhead X   enabled/disabled ratio bound (default 1.5)
+//   --out PATH         JSON output path (default BENCH_obs.json)
+//
+// Plain main on purpose (no Google Benchmark) so the target always builds.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "firelib/propagator.hpp"
+#include "obs/trace.hpp"
+#include "synth/ground_truth.hpp"
+#include "synth/workloads.hpp"
+
+namespace {
+
+using namespace essns;
+
+struct Arm {
+  double seconds = 0.0;
+  std::vector<firelib::IgnitionMap> maps;  // one per scenario, last round
+};
+
+/// One timed pass over the batch: `rounds` full sweeps per scenario, keeping
+/// the final maps for the bit-identity check.
+Arm run_arm(const firelib::FireEnvironment& env,
+            const std::vector<firelib::Scenario>& batch,
+            const firelib::IgnitionMap& start, double horizon, int rounds) {
+  const firelib::FireSpreadModel model;
+  firelib::FirePropagator propagator(model);
+  firelib::PropagationWorkspace workspace;
+  Arm arm;
+  Stopwatch watch;
+  for (int round = 0; round < rounds; ++round)
+    for (const firelib::Scenario& scenario : batch)
+      propagator.propagate(env, scenario, start, horizon, workspace);
+  arm.seconds = watch.elapsed_seconds();
+  for (const firelib::Scenario& scenario : batch)
+    arm.maps.push_back(
+        propagator.propagate(env, scenario, start, horizon, workspace));
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  double max_overhead = 1.5;
+  const char* json_path = "BENCH_obs.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--max-overhead") == 0 && i + 1 < argc) {
+      max_overhead = std::atof(argv[++i]);
+      if (max_overhead <= 1.0) {
+        std::fprintf(stderr, "--max-overhead expects a ratio > 1.0\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  // A single uniform sweep is microseconds, so each timed arm needs
+  // thousands of them to rise above timer noise (~80 ms/arm quick,
+  // ~350 ms/arm full).
+  const int grid = 64;
+  const std::size_t scenarios = quick ? 16 : 24;
+  const int rounds = quick ? 400 : 1200;
+
+  const synth::Workload workload = synth::make_plains(grid);
+  const firelib::FireEnvironment& env = workload.environment;
+  Rng truth_rng(5);
+  const synth::GroundTruth truth = synth::generate_ground_truth(
+      env, workload.truth_config, truth_rng);
+  const firelib::IgnitionMap& start = truth.fire_lines[0];
+  const double horizon = truth.step_minutes;
+
+  const auto& space = firelib::ScenarioSpace::table1();
+  Rng rng(2022);
+  std::vector<firelib::Scenario> batch;
+  for (std::size_t i = 0; i < scenarios; ++i)
+    batch.push_back(space.sample(rng));
+
+  std::printf(
+      "obs overhead benchmark: %dx%d uniform sweeps, %zu scenarios x %d "
+      "rounds (%s), bound %.2fx\n",
+      grid, grid, scenarios, rounds, quick ? "quick" : "full", max_overhead);
+
+  // Warm the caches once outside every timed arm.
+  run_arm(env, batch, start, horizon, 1);
+
+  // disabled -> enabled -> disabled again; baseline = min of the two
+  // disabled arms so machine drift cannot hide real overhead.
+  const Arm disabled_first = run_arm(env, batch, start, horizon, rounds);
+
+  obs::TraceRecorder recorder(1 << 12);
+  obs::MetricsRegistry registry;
+  obs::install_trace_recorder(&recorder);
+  obs::install_metrics_registry(&registry);
+  const Arm enabled = run_arm(env, batch, start, horizon, rounds);
+  obs::install_trace_recorder(nullptr);
+  obs::install_metrics_registry(nullptr);
+
+  const Arm disabled_second = run_arm(env, batch, start, horizon, rounds);
+
+  const double disabled_seconds =
+      std::min(disabled_first.seconds, disabled_second.seconds);
+  const double overhead =
+      disabled_seconds > 0.0 ? enabled.seconds / disabled_seconds : 0.0;
+  const bool within_bound = overhead <= max_overhead;
+
+  std::size_t divergences = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!(enabled.maps[i] == disabled_first.maps[i])) ++divergences;
+    if (!(disabled_second.maps[i] == disabled_first.maps[i])) ++divergences;
+  }
+  const bool bit_identical = divergences == 0;
+
+  const std::uint64_t sweep_count =
+      registry.counter("sweep.count").value();
+  const std::uint64_t spans = recorder.recorded();
+
+  std::printf("  disabled %.3fs / %.3fs, enabled %.3fs -> %.3fx overhead\n",
+              disabled_first.seconds, disabled_second.seconds, enabled.seconds,
+              overhead);
+  std::printf(
+      "  enabled arm observed %llu sweeps, %llu spans; maps bit-identical: "
+      "%s; within bound: %s\n",
+      static_cast<unsigned long long>(sweep_count),
+      static_cast<unsigned long long>(spans), bit_identical ? "true" : "false",
+      within_bound ? "true" : "false");
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"obs_overhead\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"hardware\": {%s},\n",
+               benchmain::hardware_json_fields().c_str());
+  std::fprintf(out, "  \"grid\": %d,\n  \"scenarios\": %zu,\n", grid,
+               scenarios);
+  std::fprintf(out, "  \"rounds\": %d,\n", rounds);
+  std::fprintf(out, "  \"disabled_seconds_first\": %.6f,\n",
+               disabled_first.seconds);
+  std::fprintf(out, "  \"disabled_seconds_second\": %.6f,\n",
+               disabled_second.seconds);
+  std::fprintf(out, "  \"enabled_seconds\": %.6f,\n", enabled.seconds);
+  std::fprintf(out, "  \"overhead_ratio\": %.4f,\n", overhead);
+  std::fprintf(out, "  \"max_overhead\": %.4f,\n", max_overhead);
+  std::fprintf(out, "  \"within_bound\": %s,\n",
+               within_bound ? "true" : "false");
+  std::fprintf(out, "  \"sweeps_observed\": %llu,\n",
+               static_cast<unsigned long long>(sweep_count));
+  std::fprintf(out, "  \"spans_recorded\": %llu,\n",
+               static_cast<unsigned long long>(spans));
+  // Scrape of the enabled arm's registry, for the counter glossary's sake.
+  obs::install_metrics_registry(&registry);
+  std::fprintf(out, "  %s,\n", benchmain::metrics_json_field().c_str());
+  obs::install_metrics_registry(nullptr);
+  std::fprintf(out, "  \"bit_identical\": %s\n}\n",
+               bit_identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return bit_identical && within_bound ? 0 : 1;
+}

@@ -223,6 +223,11 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Bench-wide metrics registry: the sweep counters (pops, pushes, stale
+  // pops, bucket re-drains) behind the timings land in the JSON below.
+  obs::MetricsRegistry metrics;
+  obs::install_metrics_registry(&metrics);
+
   const int grid = quick ? 48 : 64;
   const std::size_t scenarios = quick ? 16 : 32;
   const int rounds = quick ? 30 : 90;
@@ -271,6 +276,7 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(out, "  \"hardware\": {%s},\n",
                benchmain::hardware_json_fields().c_str());
+  std::fprintf(out, "  %s,\n", benchmain::metrics_json_field().c_str());
   std::fprintf(out,
                "  \"settings\": {\"simd_mode\": \"%s\", "
                "\"simd_active\": \"%s\", \"queue\": \"heap-vs-dial\"},\n",

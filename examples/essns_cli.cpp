@@ -31,7 +31,7 @@ void print_help() {
       "single run\n"
       "  keys: workload size method seed generations fitness_threshold\n"
       "        population offspring workers novelty_k islands cache\n"
-      "        cache_mem simd numa\n"
+      "        cache_mem simd numa trace metrics_out\n"
       "  methods:");
   for (const auto& m : ess::RunSpec::known_methods())
     std::printf(" %s", m.c_str());
@@ -65,6 +65,15 @@ void print_help() {
       "                   pins simulation workers to nodes only on\n"
       "                   multi-node hosts; performance-only, results are\n"
       "                   bit-identical at any setting\n"
+      "    --trace F      record spans (jobs x pipeline stages x workers)\n"
+      "                   and write a Chrome trace-event JSON timeline to F\n"
+      "                   (open in chrome://tracing or ui.perfetto.dev;\n"
+      "                   also valid in single-run mode; 'none' disables;\n"
+      "                   results are bit-identical with tracing on or off)\n"
+      "    --metrics-out F  write a metrics JSON scrape to F — sweep/cache/\n"
+      "                   pool counters plus p50/p90/p99 latency histograms\n"
+      "                   (also valid in single-run mode; 'none' disables;\n"
+      "                   result-neutral like --trace)\n"
       "    --catalog F    read a catalog spec (key=value file) instead of\n"
       "                   the built-in default catalog (8 workloads)\n"
       "  campaign keys: method seed generations fitness_threshold population\n"
@@ -173,7 +182,7 @@ int run_campaign(int argc, char** argv) {
     }
     if (arg == "--jobs" || arg == "--workers" || arg == "--cache" ||
         arg == "--cache-mem" || arg == "--simd" || arg == "--numa" ||
-        arg == "--catalog") {
+        arg == "--trace" || arg == "--metrics-out" || arg == "--catalog") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s expects a value\n", arg.c_str());
         return 1;
@@ -196,6 +205,10 @@ int run_campaign(int argc, char** argv) {
         config.simd_mode = require_simd_mode("--simd", value);
       } else if (arg == "--numa") {
         config.numa_mode = require_numa_mode("--numa", value);
+      } else if (arg == "--trace") {
+        config.trace_out = std::strcmp(value, "none") == 0 ? "" : value;
+      } else if (arg == "--metrics-out") {
+        config.metrics_out = std::strcmp(value, "none") == 0 ? "" : value;
       } else {
         std::ifstream file(value);
         if (!file) {
@@ -290,6 +303,10 @@ int run_campaign(int argc, char** argv) {
       service::write_campaign_csv(result, csv_path);
       std::printf("wrote %s\n", csv_path.c_str());
     }
+    if (!config.trace_out.empty())
+      std::printf("wrote %s\n", config.trace_out.c_str());
+    if (!config.metrics_out.empty())
+      std::printf("wrote %s\n", config.metrics_out.c_str());
     if (summary_path != "none") {
       std::ofstream out(summary_path);
       if (!out) {
@@ -349,6 +366,22 @@ int run_single(int argc, char** argv) {
       config_text << "numa=" << argv[++i] << '\n';
       continue;
     }
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace expects a value\n");
+        return 1;
+      }
+      config_text << "trace=" << argv[++i] << '\n';
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-out expects a value\n");
+        return 1;
+      }
+      config_text << "metrics_out=" << argv[++i] << '\n';
+      continue;
+    }
     if (argv[i][0] == '@') {
       std::ifstream file(argv[i] + 1);
       if (!file) {
@@ -384,6 +417,10 @@ int run_single(int argc, char** argv) {
   }
   table.print();
   std::printf("mean prediction quality: %.3f\n", result.mean_quality());
+  if (!spec.trace_out.empty())
+    std::printf("wrote %s\n", spec.trace_out.c_str());
+  if (!spec.metrics_out.empty())
+    std::printf("wrote %s\n", spec.metrics_out.c_str());
   return 0;
 }
 

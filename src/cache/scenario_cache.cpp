@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace essns::cache {
 namespace {
@@ -157,6 +158,7 @@ std::shared_ptr<const CachedScenario> ScenarioCacheShard::find(
   const auto idx = index_.find(key);
   if (idx == index_.end()) {
     ++misses_;
+    obs::add_counter("cache.misses", 1);
     return nullptr;
   }
   IndexSlot& slot = idx->second;
@@ -173,9 +175,11 @@ std::shared_ptr<const CachedScenario> ScenarioCacheShard::find(
     // its insert fills the missing field. Not promoted: only full hits
     // count as reuse.
     ++misses_;
+    obs::add_counter("cache.misses", 1);
     return nullptr;
   }
   ++hits_;
+  obs::add_counter("cache.hits", 1);
   if (slot.in_protected) {
     protected_.splice(protected_.begin(), protected_, slot.it);
   } else {
@@ -218,6 +222,7 @@ void ScenarioCacheShard::evict_one(EntryList& list, bool is_protected) {
   index_.erase(victim->key);
   list.erase(victim);
   ++evictions_;
+  obs::add_counter("cache.evictions", 1);
 }
 
 bool ScenarioCacheShard::make_room(std::size_t needed, std::size_t& evicted) {
@@ -277,6 +282,7 @@ InsertOutcome ScenarioCacheShard::insert(const ScenarioKey& key,
   const std::size_t charge = entry_charge(value);
   if (charge > max_bytes_) {
     ++insertions_rejected_;
+    obs::add_counter("cache.insertions_rejected", 1);
     out.rejected = true;
     return out;
   }

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "ea/operators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace essns::core {
 
@@ -51,6 +53,8 @@ NsDeResult run_ns_de(const NsDeConfig& config, std::size_t dim,
 
   const auto n = static_cast<std::int64_t>(config.population_size);
   while (!stop.done(generations, best_set.max_fitness())) {
+    ESSNS_TRACE_SPAN("os.generation");
+    obs::add_counter("os.generations", 1);
     // DE/rand/1/bin trial construction (identical to ESSIM-DE's engine).
     ea::Population trials(config.population_size);
     for (std::size_t i = 0; i < config.population_size; ++i) {

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "ea/operators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace essns::core {
 namespace {
@@ -87,6 +89,8 @@ NsGaResult run_ns_ga(const NsGaConfig& config, std::size_t dim,
 
   // Line 6: two stopping conditions (generations, fitness threshold).
   while (!stop.done(generations, best_set.max_fitness())) {
+    ESSNS_TRACE_SPAN("os.generation");
+    obs::add_counter("os.generations", 1);
     // Line 7: generateOffspring — roulette selection on the novelty-based
     // score (0 for everyone in generation 0, i.e. uniform), crossover cR,
     // per-gene mutation mR.

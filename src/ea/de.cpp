@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "ea/operators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace essns::ea {
 
@@ -50,6 +52,8 @@ DeResult run_de(const DeConfig& config, std::size_t dim,
 
   const auto n = static_cast<std::int64_t>(config.population_size);
   while (!stop.done(generation, result.best.fitness)) {
+    ESSNS_TRACE_SPAN("os.generation");
+    obs::add_counter("os.generations", 1);
     // --- Build one trial vector per target. ---
     std::vector<Genome> trials(config.population_size);
     for (std::size_t i = 0; i < config.population_size; ++i) {

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "ea/operators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace essns::ea {
 namespace {
@@ -56,6 +58,8 @@ GaResult run_ga(const GaConfig& config, std::size_t dim,
   if (observer) observer(generation, pop);
 
   while (!stop.done(generation, result.best.fitness)) {
+    ESSNS_TRACE_SPAN("os.generation");
+    obs::add_counter("os.generations", 1);
     // --- Selection + reproduction (generateOffspring). ---
     const std::vector<double> scores = fitnesses_of(pop);
     Population offspring;

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/parse.hpp"
 #include "core/ns_de.hpp"
+#include "obs/session.hpp"
 
 namespace essns::ess {
 namespace {
@@ -111,6 +112,10 @@ RunSpec parse_run_spec(std::istream& in) {
             "config key 'numa' expects off|auto|on, got: " + value);
       spec.numa_mode = *mode;
     }
+    else if (key == "trace")
+      spec.trace_out = value == "none" ? "" : value;
+    else if (key == "metrics_out")
+      spec.metrics_out = value == "none" ? "" : value;
     else throw InvalidArgument("unknown config key: " + key);
   }
   const auto& methods = RunSpec::known_methods();
@@ -174,6 +179,9 @@ std::unique_ptr<Optimizer> make_optimizer(const RunSpec& spec) {
 }
 
 PipelineResult run_spec(const RunSpec& spec) {
+  // Run-wide observability: a no-op when both paths are empty, so plain
+  // runs never touch the global recorder/registry slots.
+  obs::ObsSession obs_session(spec.trace_out, spec.metrics_out);
   synth::Workload workload = make_workload(spec);
   Rng truth_rng(spec.seed);
   const synth::GroundTruth truth = synth::generate_ground_truth(
@@ -203,6 +211,7 @@ PipelineResult run_spec(const RunSpec& spec) {
           step.islands[static_cast<std::size_t>(step.selected_island)].fitness;
       out.steps.push_back(report);
     }
+    obs_session.finish();  // EssimSystem's pools joined when run() returned
     return out;
   }
 
@@ -215,7 +224,10 @@ PipelineResult run_spec(const RunSpec& spec) {
   config.numa_mode = spec.numa_mode;
   PredictionPipeline pipeline(workload.environment, truth, config);
   auto optimizer = make_optimizer(spec);
-  return pipeline.run(*optimizer, rng);
+  PipelineResult result = pipeline.run(*optimizer, rng);
+  obs_session.finish();  // the pipeline's evaluator pool is still alive, but
+                         // idle: run() has returned, no thread is recording
+  return result;
 }
 
 }  // namespace essns::ess

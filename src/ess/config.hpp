@@ -18,6 +18,8 @@
 //   cache_mem  shared-cache byte budget, MiB      (256)
 //   simd       auto | avx2 | scalar — relax-kernel selection (auto)
 //   numa       off | auto | on — NUMA-aware worker placement (auto)
+//   trace      Chrome trace-event JSON output path, or none (none)
+//   metrics_out  metrics JSON output path, or none   (none)
 // Lines starting with '#' and blank lines are ignored.
 #pragma once
 
@@ -54,6 +56,11 @@ struct RunSpec {
   simd::Mode simd_mode = simd::Mode::kAuto;
   /// NUMA-aware worker placement (performance-only).
   parallel::NumaMode numa_mode = parallel::NumaMode::kAuto;
+  /// Chrome trace-event JSON output path ("" or "none" = off). Results are
+  /// bit-identical with tracing on or off (property-tested).
+  std::string trace_out;
+  /// Metrics JSON output path ("" or "none" = off).
+  std::string metrics_out;
 
   /// All method names parse_run_spec accepts.
   static const std::vector<std::string>& known_methods();

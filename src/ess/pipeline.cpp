@@ -3,9 +3,10 @@
 #include <algorithm>
 
 #include "common/error.hpp"
-#include "common/stopwatch.hpp"
 #include "ess/fitness.hpp"
 #include "ess/statistical.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace essns::ess {
 
@@ -93,7 +94,10 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
 
   // Calibrate on [t_{n-1}, t_n], predict t_{n+1}; n runs to steps()-1.
   for (int n = 1; n + 1 <= truth_->steps(); ++n) {
-    Stopwatch watch;
+    // One clock source for report timings AND trace spans: each stage is a
+    // SpanTimer, so the JSONL/CSV *_seconds fields and the trace timeline
+    // come from the same start/stop points.
+    obs::SpanTimer step_timer("pipeline.step");
     const std::size_t cache_hits_before = evaluator.cache_hits();
     const std::size_t cache_misses_before = evaluator.cache_misses();
     const std::size_t cache_evictions_before = evaluator.cache_evictions();
@@ -115,7 +119,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
     const double t_next = truth_->time_of(n + 1);
 
     // --- Optimization Stage. ---
-    Stopwatch stage_watch;
+    obs::SpanTimer os_timer("pipeline.os");
     StepContext context{&lines[un - 1], &lines[un], t_prev, t_now};
     evaluator.set_step(context);
     auto batch = evaluator.batch_evaluator();
@@ -124,7 +128,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
     ESSNS_REQUIRE(!outcome.solutions.empty(),
                   "optimizer returned an empty solution set");
     sample_cache();
-    const double os_seconds = stage_watch.elapsed_seconds();
+    const double os_seconds = os_timer.stop();
 
     // Cap the solution set (highest fitness first) so SS cost is bounded.
     std::sort(outcome.solutions.begin(), outcome.solutions.end(),
@@ -134,7 +138,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
 
     // --- Statistical Stage (calibration side): maps over [t_{n-1}, t_n],
     // batched over the shared worker pool. ---
-    stage_watch.reset();
+    obs::SpanTimer ss_timer("pipeline.ss");
     std::vector<firelib::Scenario> scenarios;
     scenarios.reserve(outcome.solutions.size());
     for (const auto& ind : outcome.solutions)
@@ -144,25 +148,25 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
     const Grid<double> probability_now =
         aggregate_probability(calibration_maps, t_now);
     sample_cache();
-    const double ss_seconds = stage_watch.elapsed_seconds();
+    const double ss_seconds = ss_timer.stop();
 
     // --- Calibration Stage: S_Kign against RFL_n. ---
-    stage_watch.reset();
+    obs::SpanTimer cs_timer("pipeline.cs");
     const auto real_now = firelib::burned_mask(lines[un], t_now);
     const auto preburned_now = firelib::burned_mask(lines[un - 1], t_prev);
     const KignSearchResult kign =
         search_kign(probability_now, real_now, preburned_now,
                     config_.kign_candidates);
-    const double cs_seconds = stage_watch.elapsed_seconds();
+    const double cs_seconds = cs_timer.stop();
 
     // --- Prediction Stage for t_{n+1} using Kign_n (same batch path). ---
-    stage_watch.reset();
+    obs::SpanTimer ps_timer("pipeline.ps");
     const std::vector<firelib::IgnitionMap> prediction_maps =
         evaluator.simulate_batch(scenarios, lines[un], t_next);
     last_probability_ = aggregate_probability(prediction_maps, t_next);
     last_prediction_ = apply_kign(last_probability_, kign.kign);
     sample_cache();
-    const double ps_seconds = stage_watch.elapsed_seconds();
+    const double ps_seconds = ps_timer.stop();
 
     // Scoring PFL_{n+1} against RFL_{n+1} is evaluation of the prediction,
     // not part of the PS itself — keep it out of ps_seconds.
@@ -179,7 +183,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
     report.prediction_quality = quality;
     report.os_evaluations = outcome.evaluations;
     report.os_generations = outcome.generations;
-    report.elapsed_seconds = watch.elapsed_seconds();
+    report.elapsed_seconds = step_timer.stop();
     report.solution_count = scenarios.size();
     report.os_seconds = os_seconds;
     report.ss_seconds = ss_seconds;
@@ -193,6 +197,13 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
         evaluator.cache_insertions_rejected() - cache_rejected_before;
     report.cache_entries = cache_peak_entries;
     report.cache_bytes = cache_peak_bytes;
+    if (obs::metrics_enabled()) {
+      obs::record_histogram("pipeline.os_seconds", os_seconds);
+      obs::record_histogram("pipeline.ss_seconds", ss_seconds);
+      obs::record_histogram("pipeline.cs_seconds", cs_seconds);
+      obs::record_histogram("pipeline.ps_seconds", ps_seconds);
+      obs::record_histogram("pipeline.step_seconds", report.elapsed_seconds);
+    }
     result.steps.push_back(report);
   }
   return result;

@@ -4,8 +4,9 @@
 #include <bit>
 
 #include "common/error.hpp"
-#include "common/stopwatch.hpp"
 #include "ess/fitness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace essns::ess {
 
@@ -114,6 +115,10 @@ std::size_t SimulationService::numa_nodes() const {
 void SimulationService::place_worker(unsigned worker_id) {
   if (worker_placed_[worker_id]) return;
   worker_placed_[worker_id] = 1;
+  // First touch by this worker on its own thread: label its trace lane
+  // (worker 0 is the master thread, named by the session owner).
+  if (worker_id > 0)
+    obs::set_thread_name("sim-worker-" + std::to_string(worker_id));
   const parallel::NumaTopology& topology = parallel::system_numa_topology();
   if (!parallel::numa_pinning_active(numa_mode_, topology)) return;
   if (worker_id > 0) {
@@ -132,6 +137,7 @@ firelib::IgnitionMap SimulationService::simulate(
     double end_time) {
   place_worker(0);
   simulations_.fetch_add(1, std::memory_order_relaxed);
+  ESSNS_TRACE_SPAN("simulate");
   return propagator_.propagate(*env_, scenario, start, end_time,
                                workspaces_[0]);
 }
@@ -141,7 +147,7 @@ SimulationResult SimulationService::run_one(unsigned worker_id,
   ESSNS_REQUIRE(req.scenario && req.start, "request scenario/start must be set");
   place_worker(worker_id);
   simulations_.fetch_add(1, std::memory_order_relaxed);
-  Stopwatch watch;
+  obs::SpanTimer sim_timer("simulate");
   firelib::PropagationWorkspace& workspace = workspaces_[worker_id];
   const firelib::IgnitionMap& simulated = propagator_.propagate(
       *env_, *req.scenario, *req.start, req.end_time, workspace);
@@ -154,7 +160,11 @@ SimulationResult SimulationService::run_one(unsigned worker_id,
             : jaccard_at(*req.target, simulated, req.end_time, req.start_time);
   }
   if (req.keep_map) result.map = simulated;
-  result.sim_seconds = watch.elapsed_seconds();
+  result.sim_seconds = sim_timer.stop();
+  if (obs::metrics_enabled()) {
+    obs::add_counter("sim.count", 1);
+    obs::record_histogram("sim.seconds", result.sim_seconds);
+  }
   return result;
 }
 
@@ -171,6 +181,7 @@ std::vector<SimulationResult> SimulationService::run_batch_uncached(
 std::vector<SimulationResult> SimulationService::run_batch(
     const std::vector<SimulationRequest>& requests) {
   if (requests.empty()) return {};
+  ESSNS_TRACE_SPAN("sim.batch");
 
   // The cache applies to homogeneous batches — one (start, target, interval)
   // shared by every request, which is what fitness_batch / simulate_batch
@@ -198,6 +209,12 @@ std::vector<SimulationResult> SimulationService::run_batch(
 
 std::vector<SimulationResult> SimulationService::run_batch_step(
     const std::vector<SimulationRequest>& requests) {
+  // The step cache has no shard underneath to feed the registry (unlike
+  // kShared, whose cache.* counts come from ScenarioCacheShard), so flush
+  // the master-thread bookkeeping deltas once per batch instead.
+  const std::size_t hits_before = cache_hits_;
+  const std::size_t misses_before = cache_misses_;
+  const std::size_t rejected_before = cache_insertions_rejected_;
   const SimulationRequest& first = requests.front();
   CacheContext context;
   context.start = first.start;
@@ -277,6 +294,12 @@ std::vector<SimulationResult> SimulationService::run_batch_step(
     if (scheduled[slot].keep_map && !entry.map)
       entry.map = std::move(simulated[slot].map);
     step_cache_bytes_ += cache::entry_charge(entry) - charge_before;
+  }
+  if (obs::metrics_enabled()) {
+    obs::add_counter("cache.hits", cache_hits_ - hits_before);
+    obs::add_counter("cache.misses", cache_misses_ - misses_before);
+    obs::add_counter("cache.insertions_rejected",
+                     cache_insertions_rejected_ - rejected_before);
   }
   return results;
 }

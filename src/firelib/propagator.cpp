@@ -8,9 +8,24 @@
 #include "common/error.hpp"
 #include "common/units.hpp"
 #include "firelib/relax_kernel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace essns::firelib {
 namespace {
+
+/// Per-sweep event tallies, accumulated in plain stack integers on the hot
+/// path and flushed to the metrics registry once per sweep (never per cell).
+/// `stale_pops` covers both disciplines' skip mechanisms — the heap's
+/// time-comparison discard and the dial's epoch mismatch — and
+/// `bucket_redrains` counts the dial's extra chain detaches when a
+/// relaxation lands an arrival back into the bucket being drained.
+struct SweepCounters {
+  std::uint64_t popped = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t stale_pops = 0;
+  std::uint64_t bucket_redrains = 0;
+};
 
 // Azimuth (degrees clockwise from north) from a cell toward neighbour k of
 // kEightNeighbours, with row 0 being the north edge.
@@ -36,8 +51,8 @@ class HeapSweepQueue {
   using Entry = PropagationWorkspace::HeapEntry;
 
   HeapSweepQueue(std::vector<Entry>& heap, const double* times,
-                 std::size_t cells)
-      : heap_(heap), times_(times) {
+                 std::size_t cells, SweepCounters& counters)
+      : heap_(heap), times_(times), counters_(counters) {
     heap_.clear();
     // In steady state every cell contributes at most a handful of heap
     // entries; map-size capacity absorbs the common case without regrowth.
@@ -47,6 +62,7 @@ class HeapSweepQueue {
   void push(double time, std::size_t cell) {
     heap_.push_back(Entry{time, cell});
     std::push_heap(heap_.begin(), heap_.end(), later);
+    ++counters_.pushes;
   }
 
   template <typename Relax>
@@ -55,8 +71,12 @@ class HeapSweepQueue {
       std::pop_heap(heap_.begin(), heap_.end(), later);
       const Entry top = heap_.back();
       heap_.pop_back();
-      if (top.time > times_[top.cell]) continue;  // stale entry
+      if (top.time > times_[top.cell]) {  // stale entry
+        ++counters_.stale_pops;
+        continue;
+      }
       if (top.time > horizon_min) break;  // everything later is out of horizon
+      ++counters_.popped;
       relax(top.time, top.cell, *this);
     }
   }
@@ -66,6 +86,7 @@ class HeapSweepQueue {
 
   std::vector<Entry>& heap_;
   const double* times_;
+  SweepCounters& counters_;
 };
 
 /// Bucketed dial/calendar queue over [0, horizon]: pushes append to a
@@ -84,9 +105,11 @@ class DialSweepQueue {
                  AlignedVector<std::int32_t>& heads,
                  AlignedVector<std::uint64_t>& words,
                  AlignedVector<std::uint32_t>& epochs, bool& dirty,
-                 double horizon_min, std::size_t cells)
+                 double horizon_min, std::size_t cells,
+                 SweepCounters& counters)
       : entries_(entries), batch_(batch), heads_(heads), words_(words),
-        epochs_(epochs), dirty_(dirty), horizon_(horizon_min) {
+        epochs_(epochs), dirty_(dirty), counters_(counters),
+        horizon_(horizon_min) {
     num_buckets_ = std::clamp<std::size_t>(cells, 64, std::size_t{1} << 16);
     // Bucket width horizon / num_buckets_; a zero or infinite horizon —
     // or one so tiny the reciprocal width overflows (0 * inf in bucket_of
@@ -141,6 +164,7 @@ class DialSweepQueue {
                              heads_[bucket]});
     heads_[bucket] = static_cast<std::int32_t>(entries_.size()) - 1;
     words_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+    ++counters_.pushes;
   }
 
   template <typename Relax>
@@ -164,15 +188,22 @@ class DialSweepQueue {
  private:
   template <typename Relax>
   void drain_bucket(std::size_t b, Relax& relax) {
+    bool first_pass = true;
     while (heads_[b] != kNilEntry) {
+      if (!first_pass) ++counters_.bucket_redrains;
+      first_pass = false;
       const std::int32_t head = heads_[b];
       // With ~1 bucket per cell most chains are singletons; relax those
       // without the batch copy and sort.
       if (entries_[static_cast<std::size_t>(head)].next == kNilEntry) {
         heads_[b] = kNilEntry;
         const Entry entry = entries_[static_cast<std::size_t>(head)];
-        if (entry.epoch == epochs_[entry.cell])
+        if (entry.epoch == epochs_[entry.cell]) {
+          ++counters_.popped;
           relax(entry.time, static_cast<std::size_t>(entry.cell), *this);
+        } else {
+          ++counters_.stale_pops;
+        }
         continue;
       }
       batch_.clear();
@@ -188,7 +219,11 @@ class DialSweepQueue {
                   return x.time != y.time ? x.time < y.time : x.cell < y.cell;
                 });
       for (const Entry& entry : batch_) {
-        if (entry.epoch != epochs_[entry.cell]) continue;  // stale entry
+        if (entry.epoch != epochs_[entry.cell]) {  // stale entry
+          ++counters_.stale_pops;
+          continue;
+        }
+        ++counters_.popped;
         relax(entry.time, static_cast<std::size_t>(entry.cell), *this);
       }
     }
@@ -206,6 +241,7 @@ class DialSweepQueue {
   AlignedVector<std::uint64_t>& words_;
   AlignedVector<std::uint32_t>& epochs_;
   bool& dirty_;
+  SweepCounters& counters_;
   double horizon_;
   double inv_width_ = 0.0;
   std::size_t num_buckets_ = 1;
@@ -322,6 +358,9 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
                                PropagationWorkspace& workspace) const {
   ESSNS_REQUIRE(horizon_min >= 0.0, "horizon must be non-negative");
 
+  obs::SpanTimer sweep_timer("sweep");
+  SweepCounters counters;
+
   const MoistureSet moisture{
       units::percent_to_fraction(scenario.m1),
       units::percent_to_fraction(scenario.m10),
@@ -379,11 +418,11 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
       DialSweepQueue queue(workspace.dial_entries_, workspace.dial_batch_,
                            workspace.bucket_head_, workspace.bucket_bits_,
                            workspace.cell_epoch_, workspace.dial_dirty_,
-                           horizon_min, cells);
+                           horizon_min, cells, counters);
       seed_into(queue);
       queue.drain(relax);
     } else {
-      HeapSweepQueue queue(workspace.heap_, t, cells);
+      HeapSweepQueue queue(workspace.heap_, t, cells, counters);
       seed_into(queue);
       queue.drain(horizon_min, relax);
     }
@@ -568,6 +607,16 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
   // This includes pre-seeded initial times greater than the horizon.
   for (double& time : times)
     if (time > horizon_min) time = kNeverIgnited;
+
+  const double sweep_seconds = sweep_timer.stop();
+  if (obs::metrics_enabled()) {  // one flush per sweep, never per cell
+    obs::add_counter("sweep.count", 1);
+    obs::add_counter("sweep.cells_popped", counters.popped);
+    obs::add_counter("sweep.pushes", counters.pushes);
+    obs::add_counter("sweep.stale_pops", counters.stale_pops);
+    obs::add_counter("sweep.bucket_redrains", counters.bucket_redrains);
+    obs::record_histogram("sweep.seconds", sweep_seconds);
+  }
 }
 
 }  // namespace essns::firelib

@@ -1,0 +1,49 @@
+#include "obs/session.hpp"
+
+namespace essns::obs {
+namespace {
+
+bool path_enabled(const std::string& path) {
+  return !path.empty() && path != "none";
+}
+
+}  // namespace
+
+ObsSession::ObsSession(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  if (path_enabled(trace_path_)) {
+    recorder_ = std::make_unique<TraceRecorder>();
+    install_trace_recorder(recorder_.get());
+    // Claim the timeline lane for the calling thread up front.
+    set_thread_name("master");
+  }
+  if (path_enabled(metrics_path_)) {
+    registry_ = std::make_unique<MetricsRegistry>();
+    install_metrics_registry(registry_.get());
+  }
+}
+
+ObsSession::~ObsSession() {
+  try {
+    finish();
+  } catch (...) {
+    // A failed export must not terminate an otherwise-successful run.
+  }
+}
+
+void ObsSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Uninstall before export so late stragglers stop recording first, and
+  // only if the global still points at what we installed (someone may have
+  // layered their own instrumentation on top).
+  if (recorder_ && trace_recorder() == recorder_.get())
+    install_trace_recorder(nullptr);
+  if (registry_ && metrics_registry() == registry_.get())
+    install_metrics_registry(nullptr);
+  if (recorder_) recorder_->write_chrome_json(trace_path_);
+  if (registry_) registry_->write_json(metrics_path_);
+}
+
+}  // namespace essns::obs

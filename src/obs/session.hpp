@@ -1,0 +1,44 @@
+// ObsSession bundles the install → run → uninstall → export lifecycle of
+// the observability layer for the campaign/pipeline entry points: construct
+// it with the requested output paths ("" or "none" disables that half),
+// run the workload, then finish() once worker threads have joined. It owns
+// the recorder/registry it installs and never touches globals it does not
+// own, so a disabled session composes safely with externally-installed
+// instrumentation (benches install their own registry).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace essns::obs {
+
+class ObsSession {
+ public:
+  ObsSession(std::string trace_path, std::string metrics_path);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool tracing() const { return recorder_ != nullptr; }
+  bool metrics() const { return registry_ != nullptr; }
+  MetricsRegistry* registry() const { return registry_.get(); }
+
+  /// Uninstall whatever this session installed and write the output files.
+  /// Idempotent. Call only after threads recording into this session have
+  /// quiesced (pools joined); the destructor calls it as a safety net,
+  /// swallowing write errors.
+  void finish();
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<TraceRecorder> recorder_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  bool finished_ = false;
+};
+
+}  // namespace essns::obs

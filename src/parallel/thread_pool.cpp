@@ -17,8 +17,10 @@ ThreadPool::ThreadPool(unsigned threads) {
   ESSNS_REQUIRE(threads >= 1, "thread pool needs at least one thread");
   threads_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    threads_.emplace_back([this] {
+    threads_.emplace_back([this, i] {
       t_worker_of = this;
+      // Label the worker's lane in any current or future trace timeline.
+      obs::set_thread_name("pool-worker-" + std::to_string(i + 1));
       while (auto task = tasks_.receive()) (*task)();
     });
   }

@@ -3,12 +3,15 @@
 // evaluator: "workers" in the paper's sense map to pool threads here.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/channel.hpp"
 
 namespace essns::parallel {
@@ -37,7 +40,32 @@ class ThreadPool {
           return std::invoke(std::move(fn), std::move(args)...);
         });
     std::future<R> result = task->get_future();
-    const bool accepted = tasks_.send([task] { (*task)(); });
+    bool accepted = false;
+    if (obs::tracing_enabled() || obs::metrics_enabled()) {
+      // Observed path: sample the queue depth at submit, stamp the enqueue
+      // time, and have the worker record queue-wait + a busy span around
+      // the task. The unobserved path below keeps the original unwrapped
+      // lambda so observability-off stays bit-for-bit the pre-obs pool.
+      obs::record_histogram("pool.queue_depth",
+                            static_cast<double>(tasks_.size()));
+      const std::uint64_t enqueue_ns = obs::trace_now_ns();
+      accepted = tasks_.send([task, enqueue_ns] {
+        const std::uint64_t start_ns = obs::trace_now_ns();
+        obs::record_histogram(
+            "pool.queue_wait_seconds",
+            static_cast<double>(start_ns - enqueue_ns) * 1e-9);
+        {
+          ESSNS_TRACE_SPAN("pool.task");
+          (*task)();
+        }
+        obs::add_counter("pool.tasks", 1);
+        obs::record_histogram(
+            "pool.task_seconds",
+            static_cast<double>(obs::trace_now_ns() - start_ns) * 1e-9);
+      });
+    } else {
+      accepted = tasks_.send([task] { (*task)(); });
+    }
     ESSNS_REQUIRE(accepted, "submit on a stopped ThreadPool");
     return result;
   }

@@ -5,8 +5,8 @@
 #include <mutex>
 
 #include "common/error.hpp"
-#include "common/stopwatch.hpp"
 #include "ess/config.hpp"
+#include "obs/session.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace essns::service {
@@ -141,7 +141,10 @@ JobRecord CampaignScheduler::run_job(
   record.seed = job_seed(config_.seed, workload.seed, index);
   record.workers = workers;
 
-  Stopwatch watch;
+  // Declared before the timer: the span name must outlive the SpanTimer
+  // that holds a pointer into it.
+  const std::string span_name = "job:" + workload.name;
+  obs::SpanTimer job_timer(span_name.c_str());
   try {
     Rng truth_rng(record.seed);
     const synth::GroundTruth truth = synth::generate_truth(workload, truth_rng);
@@ -173,12 +176,21 @@ JobRecord CampaignScheduler::run_job(
     record.status = JobStatus::kFailed;
     record.error = "unknown exception";
   }
-  record.elapsed_seconds = watch.elapsed_seconds();
+  record.elapsed_seconds = job_timer.stop();
+  if (obs::metrics_enabled()) {
+    obs::add_counter("campaign.jobs", 1);
+    obs::record_histogram("campaign.job_seconds", record.elapsed_seconds);
+  }
   return record;
 }
 
 CampaignResult CampaignScheduler::run(
     const std::vector<synth::Workload>& workloads) const {
+  // Campaign-wide observability session: installs the recorder/registry
+  // before any job starts, uninstalls + writes the output files on the way
+  // out (the destructor covers the empty-workloads early return).
+  obs::ObsSession obs_session(config_.trace_out, config_.metrics_out);
+
   CampaignResult result;
   result.job_concurrency = config_.job_concurrency;
   result.workers_per_job = workers_per_job(workloads.size());
@@ -199,7 +211,7 @@ CampaignResult CampaignScheduler::run(
   }
 
   const unsigned per_job = result.workers_per_job;
-  Stopwatch wall;
+  obs::SpanTimer wall("campaign");
 
   const unsigned concurrency = static_cast<unsigned>(
       std::min<std::size_t>(config_.job_concurrency, workloads.size()));
@@ -226,8 +238,12 @@ CampaignResult CampaignScheduler::run(
     for (auto& f : pending) f.get();
   }
 
-  result.wall_seconds = wall.elapsed_seconds();
+  result.wall_seconds = wall.stop();
   if (shared_cache) result.shared_cache_stats = shared_cache->stats();
+  // Export with job pipelines finished and the job pool joined (the pool,
+  // if any, was destroyed above); pipeline-internal sim pools joined when
+  // their jobs completed.
+  obs_session.finish();
   return result;
 }
 

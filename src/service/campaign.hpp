@@ -69,6 +69,15 @@ struct CampaignConfig {
   /// (kAuto pins only on multi-node hosts).
   parallel::NumaMode numa_mode = parallel::NumaMode::kAuto;
 
+  /// Chrome trace-event JSON output path ("" or "none" = tracing off).
+  /// When set, run() records spans campaign-wide — jobs x pipeline stages x
+  /// pool/sim workers — and writes the timeline before returning.
+  std::string trace_out;
+  /// Metrics JSON output path ("" or "none" = metrics off). When set, run()
+  /// installs a campaign-wide registry (sweep/cache/pool counters,
+  /// latency histograms) and writes the scrape before returning.
+  std::string metrics_out;
+
   /// Retain each job's final probability matrix / predicted fire line
   /// (map-export consumers; costs two grids per job).
   bool keep_final_maps = false;

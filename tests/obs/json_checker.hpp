@@ -1,0 +1,223 @@
+// Minimal recursive-descent JSON parser for the obs tests: the exporters
+// hand-write their JSON, so "well-formed" is verified by parsing it back
+// with an independent implementation (no third-party dependency). Strict
+// enough for the test's purpose: full value grammar, string escapes,
+// numbers via strtod; throws std::runtime_error with an offset on any
+// malformed input.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace essns::obs::testjson {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_v = false;
+  double number_v = 0.0;
+  std::string string_v;
+  std::vector<Value> array_v;
+  std::map<std::string, Value> object_v;
+
+  const Value& member(const std::string& key) const {
+    if (type != Type::kObject) throw std::runtime_error("not an object");
+    const auto it = object_v.find(key);
+    if (it == object_v.end())
+      throw std::runtime_error("missing member: " + key);
+    return it->second;
+  }
+  bool has_member(const std::string& key) const {
+    return type == Type::kObject && object_v.count(key) != 0;
+  }
+  const std::vector<Value>& elements() const {
+    if (type != Type::kArray) throw std::runtime_error("not an array");
+    return array_v;
+  }
+  double number_value() const {
+    if (type != Type::kNumber) throw std::runtime_error("not a number");
+    return number_v;
+  }
+  const std::string& string_value() const {
+    if (type != Type::kString) throw std::runtime_error("not a string");
+    return string_v;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      Value value;
+      value.type = Value::Type::kString;
+      value.string_v = parse_string();
+      return value;
+    }
+    if (consume_literal("true")) {
+      Value value;
+      value.type = Value::Type::kBool;
+      value.bool_v = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      Value value;
+      value.type = Value::Type::kBool;
+      return value;
+    }
+    if (consume_literal("null")) return Value{};
+    return parse_number();
+  }
+
+  Value parse_object() {
+    Value value;
+    value.type = Value::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      value.object_v[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  Value parse_array() {
+    Value value;
+    value.type = Value::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array_v.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) fail("bad \\u escape");
+          // The exporters only emit \u for control characters; keeping the
+          // low byte is enough for round-trip checks.
+          out += static_cast<char>(code & 0xff);
+          pos_ += 4;
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double parsed = std::strtod(start, &end);
+    if (end == start) fail("expected a value");
+    pos_ += static_cast<std::size_t>(end - start);
+    Value value;
+    value.type = Value::Type::kNumber;
+    value.number_v = parsed;
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace essns::obs::testjson

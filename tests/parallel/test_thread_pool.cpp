@@ -3,7 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace essns::parallel {
 namespace {
@@ -132,6 +138,39 @@ TEST(ThreadPoolTest, ParallelForFromDifferentPoolStillScatters) {
   });
   f.get();
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, SaturatedPoolReportsNonzeroQueueWait) {
+  // Regression for the observability gap: the pool used to expose no
+  // queue-depth or wait-time signal at all. With a metrics registry
+  // installed, a single-worker pool fed faster than it drains must report
+  // one queue-wait sample per task and a strictly positive maximum wait.
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* previous = obs::metrics_registry();
+  obs::install_metrics_registry(&registry);
+  constexpr int kTasks = 8;
+  {
+    ThreadPool pool(1);
+    std::vector<std::future<void>> results;
+    results.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i)
+      results.push_back(pool.submit(
+          [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }));
+    for (auto& result : results) result.get();
+  }
+  obs::install_metrics_registry(previous);
+
+  EXPECT_EQ(registry.counter("pool.tasks").value(),
+            static_cast<std::uint64_t>(kTasks));
+  const obs::Histogram& wait = registry.histogram("pool.queue_wait_seconds");
+  EXPECT_EQ(wait.count(), static_cast<std::uint64_t>(kTasks));
+  // Tasks 2..8 each waited behind at least one 5 ms predecessor.
+  EXPECT_GT(wait.max(), 0.0);
+  const obs::Histogram& depth = registry.histogram("pool.queue_depth");
+  EXPECT_EQ(depth.count(), static_cast<std::uint64_t>(kTasks));
+  EXPECT_GT(depth.max(), 0.0) << "later submissions saw a non-empty queue";
+  EXPECT_EQ(registry.histogram("pool.task_seconds").count(),
+            static_cast<std::uint64_t>(kTasks));
 }
 
 }  // namespace
