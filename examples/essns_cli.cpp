@@ -18,6 +18,7 @@
 #include "ess/config.hpp"
 #include "service/campaign.hpp"
 #include "service/report.hpp"
+#include "shard/runner.hpp"
 #include "synth/catalog.hpp"
 
 namespace {
@@ -76,11 +77,26 @@ void print_help() {
       "                   result-neutral like --trace)\n"
       "    --catalog F    read a catalog spec (key=value file) instead of\n"
       "                   the built-in default catalog (8 workloads)\n"
+      "    --shards N     fan the catalog out over N worker PROCESSES\n"
+      "                   (round-robin by job index) and merge their frame\n"
+      "                   streams; merged jsonl/csv/summary are\n"
+      "                   byte-identical to the unsharded run at the same\n"
+      "                   seeds (with timings=zero, cache off|step). --jobs\n"
+      "                   stays the campaign-wide concurrency (each worker\n"
+      "                   runs ceil(jobs/shards) slots); a crashed worker\n"
+      "                   only fails its unreported jobs. --trace writes one\n"
+      "                   <file>.shard<k> per worker; --metrics-out writes\n"
+      "                   one merged rollup\n"
       "  campaign keys: method seed generations fitness_threshold population\n"
       "                 offspring novelty_k islands jsonl csv summary\n"
+      "                 timings\n"
       "                 (jsonl/csv/summary are output paths; 'none' skips;\n"
       "                 defaults campaign_jobs.jsonl / none /\n"
       "                 campaign_summary.json)\n"
+      "                 timings=wall|zero: zero renders every wall-clock\n"
+      "                 field as 0, making reports a pure function of the\n"
+      "                 seeds (the canonical form determinism checks\n"
+      "                 byte-compare)\n"
       "  catalog keys:  terrains sizes weather ignitions seeds base_seed\n"
       "                 steps step_minutes noise limit\n"
       "                 terrains:  plains hills rugged\n"
@@ -173,6 +189,8 @@ int run_campaign(int argc, char** argv) {
   std::string jsonl_path = "campaign_jobs.jsonl";
   std::string csv_path = "none";
   std::string summary_path = "campaign_summary.json";
+  service::ReportOptions report_options;
+  unsigned shards = 0;  // 0 = in-process (unsharded) campaign
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -182,7 +200,8 @@ int run_campaign(int argc, char** argv) {
     }
     if (arg == "--jobs" || arg == "--workers" || arg == "--cache" ||
         arg == "--cache-mem" || arg == "--simd" || arg == "--numa" ||
-        arg == "--trace" || arg == "--metrics-out" || arg == "--catalog") {
+        arg == "--trace" || arg == "--metrics-out" || arg == "--catalog" ||
+        arg == "--shards") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s expects a value\n", arg.c_str());
         return 1;
@@ -209,6 +228,9 @@ int run_campaign(int argc, char** argv) {
         config.trace_out = std::strcmp(value, "none") == 0 ? "" : value;
       } else if (arg == "--metrics-out") {
         config.metrics_out = std::strcmp(value, "none") == 0 ? "" : value;
+      } else if (arg == "--shards") {
+        shards =
+            static_cast<unsigned>(require_positive_int("--shards", value));
       } else {
         std::ifstream file(value);
         if (!file) {
@@ -257,6 +279,13 @@ int run_campaign(int argc, char** argv) {
       csv_path = value;
     } else if (key == "summary") {
       summary_path = value;
+    } else if (key == "timings") {
+      if (value != "wall" && value != "zero") {
+        std::fprintf(stderr, "timings expects wall|zero, got '%s'\n",
+                     value.c_str());
+        return 1;
+      }
+      report_options.zero_timings = value == "zero";
     } else {
       std::fprintf(stderr, "unknown campaign key: %s\n", key.c_str());
       return 1;
@@ -264,13 +293,20 @@ int run_campaign(int argc, char** argv) {
   }
 
   try {
-    const synth::CatalogSpec spec =
-        synth::parse_catalog_spec(catalog_file_text + catalog_inline_text);
+    const std::string catalog_text = catalog_file_text + catalog_inline_text;
+    const synth::CatalogSpec spec = synth::parse_catalog_spec(catalog_text);
     const std::vector<synth::Workload> workloads =
         synth::generate_catalog(spec);
-    std::printf("campaign: %zu workloads, %u concurrent jobs, %u workers\n",
-                workloads.size(), config.job_concurrency,
-                config.total_workers);
+    if (shards > 0)
+      std::printf(
+          "campaign: %zu workloads, %u shard processes, %u concurrent jobs, "
+          "%u workers\n",
+          workloads.size(), shards, config.job_concurrency,
+          config.total_workers);
+    else
+      std::printf("campaign: %zu workloads, %u concurrent jobs, %u workers\n",
+                  workloads.size(), config.job_concurrency,
+                  config.total_workers);
 
     const std::size_t total = workloads.size();
     config.on_job_done = [total](const service::JobRecord& job) {
@@ -281,10 +317,41 @@ int run_campaign(int argc, char** argv) {
       std::fflush(stdout);
     };
 
-    service::CampaignScheduler scheduler(config);
-    const service::CampaignResult result = scheduler.run(workloads);
+    service::CampaignResult result;
+    std::vector<shard::ShardReport> shard_reports;
+    if (shards > 0) {
+      shard::ShardedCampaignOptions sharded_options;
+      sharded_options.shards = shards;
+      sharded_options.config = config;
+      sharded_options.catalog_text = catalog_text;
+      shard::ShardedCampaignResult sharded =
+          shard::run_sharded_campaign(sharded_options);
+      result = std::move(sharded.campaign);
+      shard_reports = std::move(sharded.shards);
+    } else {
+      service::CampaignScheduler scheduler(config);
+      result = scheduler.run(workloads);
+    }
 
     std::printf("\n");
+    if (!shard_reports.empty()) {
+      TextTable shard_table("shards (" + std::to_string(shards) +
+                            " worker processes)");
+      shard_table.set_header({"shard", "jobs", "recv", "conc", "wall[s]",
+                              "busy[s]", "util%", "status"});
+      for (const auto& report : shard_reports) {
+        shard_table.add_row(
+            {std::to_string(report.shard_index),
+             std::to_string(report.jobs_assigned),
+             std::to_string(report.jobs_received),
+             std::to_string(report.job_concurrency),
+             TextTable::num(report.wall_seconds, 2),
+             TextTable::num(report.busy_seconds, 2),
+             TextTable::num(100.0 * report.utilization(), 1),
+             report.clean ? "clean" : report.error});
+      }
+      shard_table.print();
+    }
     service::campaign_summary_table(result).print();
     std::printf(
         "%zu/%zu jobs succeeded in %.2fs wall (%.3f jobs/sec, mean quality "
@@ -296,15 +363,16 @@ int run_campaign(int argc, char** argv) {
         static_cast<double>(result.cache_bytes()) / (1024.0 * 1024.0));
 
     if (jsonl_path != "none") {
-      service::write_campaign_jsonl(result, jsonl_path);
+      service::write_campaign_jsonl(result, jsonl_path, report_options);
       std::printf("wrote %s\n", jsonl_path.c_str());
     }
     if (csv_path != "none") {
-      service::write_campaign_csv(result, csv_path);
+      service::write_campaign_csv(result, csv_path, report_options);
       std::printf("wrote %s\n", csv_path.c_str());
     }
     if (!config.trace_out.empty())
-      std::printf("wrote %s\n", config.trace_out.c_str());
+      std::printf("wrote %s%s\n", config.trace_out.c_str(),
+                  shards > 0 ? ".shard<k> (one per shard)" : "");
     if (!config.metrics_out.empty())
       std::printf("wrote %s\n", config.metrics_out.c_str());
     if (summary_path != "none") {
@@ -313,7 +381,7 @@ int run_campaign(int argc, char** argv) {
         std::fprintf(stderr, "cannot write %s\n", summary_path.c_str());
         return 1;
       }
-      out << service::campaign_summary_json(result) << "\n";
+      out << service::campaign_summary_json(result, report_options) << "\n";
       std::printf("wrote %s\n", summary_path.c_str());
     }
     return result.failed() == 0 ? 0 : 2;
@@ -427,6 +495,11 @@ int run_single(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hidden re-invocation mode: `campaign --shards N` fork/execs this same
+  // binary once per shard; the worker talks wire frames on stdin/stdout and
+  // never reaches the normal CLI paths.
+  if (argc > 1 && std::strcmp(argv[1], "--shard-worker") == 0)
+    return essns::shard::shard_worker_main();
   if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
     print_help();
     return 0;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace essns {
 
@@ -34,33 +35,60 @@ void write_ascii_grid(const std::string& path, const Grid<double>& grid,
 }
 
 Grid<double> read_ascii_grid(std::istream& in) {
+  // Strict parsing discipline (common/parse.hpp): every token must be a
+  // whole well-formed number — "32.5" for ncols, "0x20", "12abc" or a bare
+  // "-" are errors naming the offending token, where the old stream
+  // extraction silently truncated or accepted a prefix.
   int ncols = -1, nrows = -1;
   double cellsize = 1.0, nodata = -9999.0, xll = 0.0, yll = 0.0;
-  std::string key;
+  std::string key, token;
   // Header: a fixed set of "key value" lines; order of optional keys is free.
   for (int i = 0; i < 6; ++i) {
     if (!(in >> key)) throw IoError("ascii grid: truncated header");
     std::string lower;
     for (char ch : key) lower += static_cast<char>(std::tolower(ch));
-    double value;
-    if (!(in >> value)) throw IoError("ascii grid: bad header value for " + key);
-    if (lower == "ncols") ncols = static_cast<int>(value);
-    else if (lower == "nrows") nrows = static_cast<int>(value);
-    else if (lower == "cellsize") cellsize = value;
-    else if (lower == "nodata_value") nodata = value;
-    else if (lower == "xllcorner") xll = value;
-    else if (lower == "yllcorner") yll = value;
-    else throw IoError("ascii grid: unknown header key " + key);
+    if (!(in >> token))
+      throw IoError("ascii grid: missing header value for " + key);
+    if (lower == "ncols" || lower == "nrows") {
+      // Dimensions must be whole integers; "32.5" is a malformed grid, not
+      // a 32-column one.
+      const auto value = parse_int(token);
+      if (!value)
+        throw IoError("ascii grid: bad integer header value for " + key +
+                      ": '" + token + "'");
+      (lower == "ncols" ? ncols : nrows) = *value;
+    } else {
+      const auto value = parse_double(token);
+      if (!value)
+        throw IoError("ascii grid: bad header value for " + key + ": '" +
+                      token + "'");
+      if (lower == "cellsize") cellsize = *value;
+      else if (lower == "nodata_value") nodata = *value;
+      else if (lower == "xllcorner") xll = *value;
+      else if (lower == "yllcorner") yll = *value;
+      else throw IoError("ascii grid: unknown header key " + key);
+    }
   }
   (void)cellsize; (void)nodata; (void)xll; (void)yll;
   if (ncols <= 0 || nrows <= 0)
     throw IoError("ascii grid: missing or invalid ncols/nrows");
 
   Grid<double> grid(nrows, ncols);
-  for (int r = 0; r < nrows; ++r)
-    for (int c = 0; c < ncols; ++c)
-      if (!(in >> grid(r, c)))
-        throw IoError("ascii grid: truncated data section");
+  for (int r = 0; r < nrows; ++r) {
+    for (int c = 0; c < ncols; ++c) {
+      if (!(in >> token)) throw IoError("ascii grid: truncated data section");
+      const auto value = parse_double(token);
+      if (!value)
+        throw IoError("ascii grid: bad data value at row " +
+                      std::to_string(r) + ", col " + std::to_string(c) +
+                      ": '" + token + "'");
+      grid(r, c) = *value;
+    }
+  }
+  if (in >> token)
+    throw IoError("ascii grid: trailing data after " +
+                  std::to_string(static_cast<long long>(nrows) * ncols) +
+                  " values: '" + token + "'");
   return grid;
 }
 

@@ -144,37 +144,73 @@ bool MetricsRegistry::empty() const {
   return counters_.empty() && histograms_.empty();
 }
 
-std::string MetricsRegistry::json() const {
-  std::shared_lock lock(mutex_);
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t bucket = 0; bucket < buckets.size(); ++bucket) {
+    cumulative += buckets[bucket];
+    if (cumulative >= rank) return Histogram::bucket_lower_bound(bucket);
+  }
+  return Histogram::bucket_lower_bound(Histogram::kBucketCount - 1);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  if (buckets.size() < other.buckets.size())
+    buckets.resize(other.buckets.size(), 0);
+  for (std::size_t i = 0; i < other.buckets.size(); ++i)
+    buckets[i] += other.buckets[i];
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, histogram] : other.histograms)
+    histograms[name].merge(histogram);
+}
+
+std::string MetricsSnapshot::json() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, value] : counters) {
     out += first ? "\n" : ",\n";
     first = false;
-    out += "    \"" + name + "\": " + std::to_string(counter->value());
+    out += "    \"" + name + "\": " + std::to_string(value);
   }
   out += first ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";
   first = true;
-  for (const auto& [name, histogram] : histograms_) {
+  for (const auto& [name, histogram] : histograms) {
     out += first ? "\n" : ",\n";
     first = false;
-    const std::uint64_t count = histogram->count();
+    const std::uint64_t count = histogram.count;
     const double mean =
-        count > 0 ? histogram->sum() / static_cast<double>(count) : 0.0;
+        count > 0 ? histogram.sum / static_cast<double>(count) : 0.0;
     out += "    \"" + name + "\": {";
     out += "\"count\": " + std::to_string(count);
-    out += ", \"sum\": " + json_number(histogram->sum());
-    out += ", \"min\": " + json_number(histogram->min());
-    out += ", \"max\": " + json_number(histogram->max());
+    out += ", \"sum\": " + json_number(histogram.sum);
+    out += ", \"min\": " + json_number(histogram.min);
+    out += ", \"max\": " + json_number(histogram.max);
     out += ", \"mean\": " + json_number(mean);
-    out += ", \"p50\": " + json_number(histogram->quantile(0.50));
-    out += ", \"p90\": " + json_number(histogram->quantile(0.90));
-    out += ", \"p99\": " + json_number(histogram->quantile(0.99));
+    out += ", \"p50\": " + json_number(histogram.quantile(0.50));
+    out += ", \"p90\": " + json_number(histogram.quantile(0.90));
+    out += ", \"p99\": " + json_number(histogram.quantile(0.99));
     out += ", \"buckets\": [";
     bool first_bucket = true;
-    for (std::size_t bucket = 0; bucket < Histogram::kBucketCount; ++bucket) {
-      const std::uint64_t bucket_count = histogram->bucket_total(bucket);
+    for (std::size_t bucket = 0; bucket < histogram.buckets.size(); ++bucket) {
+      const std::uint64_t bucket_count = histogram.buckets[bucket];
       if (bucket_count == 0) continue;
       if (!first_bucket) out += ", ";
       first_bucket = false;
@@ -186,6 +222,35 @@ std::string MetricsRegistry::json() const {
   out += first ? "}\n}\n" : "\n  }\n}\n";
   return out;
 }
+
+void MetricsSnapshot::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write metrics file " + path);
+  out << json();
+  if (!out) throw IoError("failed writing metrics file " + path);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::shared_lock lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_)
+    snap.counters[name] = counter->value();
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot& h = snap.histograms[name];
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.min = histogram->min();
+    h.max = histogram->max();
+    if (h.count > 0) {
+      h.buckets.resize(Histogram::kBucketCount, 0);
+      for (std::size_t bucket = 0; bucket < Histogram::kBucketCount; ++bucket)
+        h.buckets[bucket] = histogram->bucket_total(bucket);
+    }
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::json() const { return snapshot().json(); }
 
 void MetricsRegistry::write_json(const std::string& path) const {
   std::ofstream out(path);

@@ -26,6 +26,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 
@@ -133,6 +134,41 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
+/// Plain-data copy of one histogram's state: bucket counts plus the exact
+/// aggregates. Snapshots are what crosses process boundaries — a shard
+/// worker scrapes its registry into a snapshot, ships it over the wire, and
+/// the campaign parent merges the shards into one rollup (bucket-wise adds
+/// are lossless, so the merged p50/p90/p99 are exactly what one process-wide
+/// histogram would have reported).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< exact smallest recorded value; 0 when count == 0
+  double max = 0.0;
+  /// Per-bucket counts, Histogram::kBucketCount entries; empty means all
+  /// zero (an empty histogram snapshots to an empty vector).
+  std::vector<std::uint64_t> buckets;
+
+  /// Same contract as Histogram::quantile, over the snapshotted buckets.
+  double quantile(double q) const;
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Point-in-time copy of a whole registry, mergeable across processes and
+/// serializable (shard::encode_metrics_snapshot). json() emits exactly the
+/// document MetricsRegistry::json() would for the same state, so a merged
+/// rollup is indistinguishable from a single-process scrape.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const { return counters.empty() && histograms.empty(); }
+  void merge(const MetricsSnapshot& other);
+  std::string json() const;
+  /// json() to a file; throws IoError when the file cannot be written.
+  void write_json(const std::string& path) const;
+};
+
 /// Name -> metric map. Lookup takes a shared lock (creation an exclusive
 /// one, once per name); returned references stay valid for the registry's
 /// lifetime. Export orderings are the sorted names, so JSON output is
@@ -143,6 +179,10 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name);
 
   bool empty() const;
+
+  /// Mergeable copy of the current state (totals exact, instant racy —
+  /// scrape after the recording threads have quiesced for exact numbers).
+  MetricsSnapshot snapshot() const;
 
   /// {"counters": {...}, "histograms": {name: {count,sum,min,max,mean,
   /// p50,p90,p99,buckets:[[lower_bound,count],...]}, ...}}

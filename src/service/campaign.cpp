@@ -10,17 +10,17 @@
 #include "parallel/thread_pool.hpp"
 
 namespace essns::service {
-namespace {
 
-// Per-job seed: a pure function of (campaign seed, workload seed, index) so
-// streams are independent of scheduling order and job concurrency. Chained
-// combine_seed (not a one-shot XOR) keeps coincidental cancellation between
-// the inputs from colliding two jobs onto one stream.
-std::uint64_t job_seed(std::uint64_t campaign_seed, std::uint64_t workload_seed,
-                       std::size_t index) {
+// Chained combine_seed (not a one-shot XOR) keeps coincidental cancellation
+// between the inputs from colliding two jobs onto one stream.
+std::uint64_t campaign_job_seed(std::uint64_t campaign_seed,
+                                std::uint64_t workload_seed,
+                                std::size_t index) {
   return combine_seed(combine_seed(campaign_seed, workload_seed),
                       static_cast<std::uint64_t>(index + 1));
 }
+
+namespace {
 
 ess::RunSpec to_run_spec(const CampaignConfig& config) {
   ess::RunSpec spec;
@@ -52,6 +52,11 @@ std::size_t CampaignResult::failed() const { return jobs.size() - succeeded(); }
 double CampaignResult::jobs_per_second() const {
   if (jobs.empty() || wall_seconds <= 0.0) return 0.0;
   return static_cast<double>(jobs.size()) / wall_seconds;
+}
+
+double CampaignResult::succeeded_per_second() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(succeeded()) / wall_seconds;
 }
 
 std::size_t CampaignResult::cache_hits() const {
@@ -119,11 +124,13 @@ CampaignScheduler::CampaignScheduler(CampaignConfig config)
   ESSNS_REQUIRE(config_.job_concurrency >= 1, "job_concurrency >= 1");
   ESSNS_REQUIRE(config_.total_workers >= 1, "total_workers >= 1");
   ESSNS_REQUIRE(config_.generations >= 1, "generations >= 1");
+  ESSNS_REQUIRE(config_.job_index_stride >= 1, "job_index_stride >= 1");
   // Fail fast on methods the job runner cannot build (e.g. essim-monitor).
   (void)ess::make_optimizer(to_run_spec(config_));
 }
 
 unsigned CampaignScheduler::workers_per_job(std::size_t job_count) const {
+  if (config_.forced_workers_per_job > 0) return config_.forced_workers_per_job;
   const unsigned in_flight = static_cast<unsigned>(
       std::min<std::size_t>(config_.job_concurrency,
                             std::max<std::size_t>(job_count, 1)));
@@ -138,7 +145,7 @@ JobRecord CampaignScheduler::run_job(
   record.workload = workload.name;
   record.rows = workload.environment.rows();
   record.cols = workload.environment.cols();
-  record.seed = job_seed(config_.seed, workload.seed, index);
+  record.seed = campaign_job_seed(config_.seed, workload.seed, index);
   record.workers = workers;
 
   // Declared before the timer: the span name must outlive the SpanTimer
@@ -215,9 +222,16 @@ CampaignResult CampaignScheduler::run(
 
   const unsigned concurrency = static_cast<unsigned>(
       std::min<std::size_t>(config_.job_concurrency, workloads.size()));
+  // Global job index of the i-th submitted workload: the identity mapping
+  // for whole-catalog runs, a round-robin slice's own positions in sharded
+  // ones (the seed and every report field derive from it).
+  const auto global_index = [this](std::size_t i) {
+    return config_.job_index_offset + i * config_.job_index_stride;
+  };
   if (concurrency <= 1) {
     for (std::size_t i = 0; i < workloads.size(); ++i) {
-      result.jobs[i] = run_job(workloads[i], i, per_job, shared_cache);
+      result.jobs[i] =
+          run_job(workloads[i], global_index(i), per_job, shared_cache);
       if (config_.on_job_done) config_.on_job_done(result.jobs[i]);
     }
   } else {
@@ -227,8 +241,10 @@ CampaignResult CampaignScheduler::run(
     pending.reserve(workloads.size());
     for (std::size_t i = 0; i < workloads.size(); ++i) {
       pending.push_back(pool.submit([this, &workloads, &result, &done_mutex,
-                                     &shared_cache, per_job, i] {
-        result.jobs[i] = run_job(workloads[i], i, per_job, shared_cache);
+                                     &shared_cache, &global_index, per_job,
+                                     i] {
+        result.jobs[i] =
+            run_job(workloads[i], global_index(i), per_job, shared_cache);
         if (config_.on_job_done) {
           std::lock_guard lock(done_mutex);
           config_.on_job_done(result.jobs[i]);

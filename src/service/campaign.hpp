@@ -37,6 +37,16 @@ enum class JobStatus { kSucceeded, kFailed };
 
 const char* to_string(JobStatus status);
 
+/// The effective seed of job `index` in a campaign: a pure function of
+/// (campaign seed, workload seed, global job index), independent of
+/// scheduling, job concurrency and sharding — the reason per-job results
+/// are reproducible at any parallelism level. Exposed so the shard launcher
+/// can synthesize correctly-seeded failure records for jobs a crashed
+/// worker never reported.
+std::uint64_t campaign_job_seed(std::uint64_t campaign_seed,
+                                std::uint64_t workload_seed,
+                                std::size_t index);
+
 struct CampaignConfig {
   unsigned job_concurrency = 1;  ///< pipelines in flight at once
   unsigned total_workers = 1;    ///< simulation-worker budget, split per job
@@ -68,6 +78,21 @@ struct CampaignConfig {
   /// NUMA-aware worker placement for every job's simulation workers
   /// (kAuto pins only on multi-node hosts).
   parallel::NumaMode numa_mode = parallel::NumaMode::kAuto;
+
+  // Sharded campaigns (src/shard/): a worker process running one round-robin
+  // slice of a larger catalog reports each job under its GLOBAL index —
+  // job i of the submitted slice gets index offset + i * stride, and the
+  // job seed derives from that global index, so the slice's records are
+  // byte-identical to the same jobs in a single-process run of the whole
+  // catalog. The defaults (0, 1) are the unsharded identity mapping.
+  std::size_t job_index_offset = 0;
+  std::size_t job_index_stride = 1;
+  /// Nonzero pins workers_per_job() instead of the total_workers/
+  /// in-flight-jobs split. Shard workers use this so every job reports the
+  /// same worker count the whole-campaign split would have produced
+  /// (results are bit-identical at any worker count; the JSONL field must
+  /// match too).
+  unsigned forced_workers_per_job = 0;
 
   /// Chrome trace-event JSON output path ("" or "none" = tracing off).
   /// When set, run() records spans campaign-wide — jobs x pipeline stages x
@@ -117,7 +142,13 @@ struct CampaignResult {
 
   std::size_t succeeded() const;
   std::size_t failed() const;
-  double jobs_per_second() const;  ///< all jobs over campaign wall-clock
+  /// ALL jobs (including failed ones) over campaign wall-clock. A crashed
+  /// shard or throwing pipeline inflates this — it measures how fast jobs
+  /// were disposed of, not how fast predictions were produced.
+  double jobs_per_second() const;
+  /// Succeeded jobs over campaign wall-clock: the throughput that actually
+  /// delivered predictions. Equal to jobs_per_second() when nothing failed.
+  double succeeded_per_second() const;
   double mean_quality() const;     ///< over succeeded jobs
 
   // Scenario-cache activity summed over succeeded jobs.

@@ -49,7 +49,13 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
-void write_campaign_jsonl(const CampaignResult& result, std::ostream& out) {
+void write_campaign_jsonl(const CampaignResult& result, std::ostream& out,
+                          const ReportOptions& options) {
+  // Canonical form: every wall-clock field renders as 0 so the bytes are a
+  // pure function of the seeds.
+  const auto secs = [&options](double value) {
+    return num(options.zero_timings ? 0.0 : value);
+  };
   for (const auto& job : result.jobs) {
     out << "{\"job\":" << job.index
         << ",\"workload\":\"" << json_escape(job.workload) << "\""
@@ -57,7 +63,7 @@ void write_campaign_jsonl(const CampaignResult& result, std::ostream& out) {
         << ",\"seed\":" << job.seed
         << ",\"rows\":" << job.rows << ",\"cols\":" << job.cols
         << ",\"workers\":" << job.workers
-        << ",\"elapsed_seconds\":" << num(job.elapsed_seconds);
+        << ",\"elapsed_seconds\":" << secs(job.elapsed_seconds);
     if (job.status == JobStatus::kSucceeded) {
       out << ",\"optimizer\":\"" << json_escape(job.result.optimizer_name)
           << "\""
@@ -80,10 +86,10 @@ void write_campaign_jsonl(const CampaignResult& result, std::ostream& out) {
             << ",\"quality\":" << num(step.prediction_quality)
             << ",\"evaluations\":" << step.os_evaluations
             << ",\"generations\":" << step.os_generations
-            << ",\"os_seconds\":" << num(step.os_seconds)
-            << ",\"ss_seconds\":" << num(step.ss_seconds)
-            << ",\"cs_seconds\":" << num(step.cs_seconds)
-            << ",\"ps_seconds\":" << num(step.ps_seconds)
+            << ",\"os_seconds\":" << secs(step.os_seconds)
+            << ",\"ss_seconds\":" << secs(step.ss_seconds)
+            << ",\"cs_seconds\":" << secs(step.cs_seconds)
+            << ",\"ps_seconds\":" << secs(step.ps_seconds)
             << ",\"cache_hits\":" << step.cache_hits
             << ",\"cache_misses\":" << step.cache_misses
             << ",\"cache_evictions\":" << step.cache_evictions
@@ -91,7 +97,7 @@ void write_campaign_jsonl(const CampaignResult& result, std::ostream& out) {
             << step.cache_insertions_rejected
             << ",\"cache_entries\":" << step.cache_entries
             << ",\"cache_bytes\":" << step.cache_bytes
-            << ",\"elapsed_seconds\":" << num(step.elapsed_seconds) << "}";
+            << ",\"elapsed_seconds\":" << secs(step.elapsed_seconds) << "}";
       }
       out << "]";
     } else {
@@ -102,12 +108,17 @@ void write_campaign_jsonl(const CampaignResult& result, std::ostream& out) {
 }
 
 void write_campaign_jsonl(const CampaignResult& result,
-                          const std::string& path) {
+                          const std::string& path,
+                          const ReportOptions& options) {
   auto out = open_or_throw(path);
-  write_campaign_jsonl(result, out);
+  write_campaign_jsonl(result, out, options);
 }
 
-void write_campaign_csv(const CampaignResult& result, std::ostream& out) {
+void write_campaign_csv(const CampaignResult& result, std::ostream& out,
+                        const ReportOptions& options) {
+  const auto secs = [&options](double value) {
+    return num(options.zero_timings ? 0.0 : value);
+  };
   out << "job,workload,status,step,kign,calibration_fitness,quality,"
          "os_seconds,ss_seconds,cs_seconds,ps_seconds,elapsed_seconds,error\n";
   for (const auto& job : result.jobs) {
@@ -117,33 +128,40 @@ void write_campaign_csv(const CampaignResult& result, std::ostream& out) {
       for (auto& c : error)
         if (c == ',' || c == '\n') c = ';';
       out << job.index << ',' << job.workload << ",failed,,,,,,,,,"
-          << num(job.elapsed_seconds) << ',' << error << '\n';
+          << secs(job.elapsed_seconds) << ',' << error << '\n';
       continue;
     }
     for (const auto& step : job.result.steps) {
       out << job.index << ',' << job.workload << ",succeeded," << step.step
           << ',' << num(step.kign) << ',' << num(step.calibration_fitness)
-          << ',' << num(step.prediction_quality) << ',' << num(step.os_seconds)
-          << ',' << num(step.ss_seconds) << ',' << num(step.cs_seconds) << ','
-          << num(step.ps_seconds) << ',' << num(step.elapsed_seconds) << ",\n";
+          << ',' << num(step.prediction_quality) << ',' << secs(step.os_seconds)
+          << ',' << secs(step.ss_seconds) << ',' << secs(step.cs_seconds) << ','
+          << secs(step.ps_seconds) << ',' << secs(step.elapsed_seconds)
+          << ",\n";
     }
   }
 }
 
-void write_campaign_csv(const CampaignResult& result, const std::string& path) {
+void write_campaign_csv(const CampaignResult& result, const std::string& path,
+                        const ReportOptions& options) {
   auto out = open_or_throw(path);
-  write_campaign_csv(result, out);
+  write_campaign_csv(result, out, options);
 }
 
-std::string campaign_summary_json(const CampaignResult& result) {
+std::string campaign_summary_json(const CampaignResult& result,
+                                  const ReportOptions& options) {
+  const auto secs = [&options](double value) {
+    return num(options.zero_timings ? 0.0 : value);
+  };
   std::ostringstream out;
   out << "{\"jobs\":" << result.jobs.size()
       << ",\"succeeded\":" << result.succeeded()
       << ",\"failed\":" << result.failed()
       << ",\"job_concurrency\":" << result.job_concurrency
       << ",\"workers_per_job\":" << result.workers_per_job
-      << ",\"wall_seconds\":" << num(result.wall_seconds)
-      << ",\"jobs_per_second\":" << num(result.jobs_per_second())
+      << ",\"wall_seconds\":" << secs(result.wall_seconds)
+      << ",\"jobs_per_second\":" << secs(result.jobs_per_second())
+      << ",\"succeeded_per_second\":" << secs(result.succeeded_per_second())
       << ",\"mean_quality\":" << num(result.mean_quality())
       << ",\"cache_policy\":\"" << cache::to_string(result.cache_policy)
       << "\""
@@ -187,14 +205,14 @@ TextTable campaign_summary_table(const CampaignResult& result,
                   " workers/job, cache " +
                   cache::to_string(result.cache_policy) + ")");
   table.set_header({"job", "workload", "status", "steps", "quality", "time[s]",
-                    "hit%", "evict", "cache[KiB]"});
+                    "jobs/s", "ok/s", "hit%", "evict", "cache[KiB]"});
   for (const auto& job : result.jobs) {
     const bool ok = job.status == JobStatus::kSucceeded;
     table.add_row({std::to_string(job.index), job.workload,
                    to_string(job.status),
                    ok ? std::to_string(job.result.steps.size()) : "-",
                    ok ? TextTable::num(job.result.mean_quality()) : "-",
-                   TextTable::num(job.elapsed_seconds, 2),
+                   TextTable::num(job.elapsed_seconds, 2), "-", "-",
                    ok ? TextTable::num(100.0 * job.result.cache_hit_rate(), 1)
                       : "-",
                    ok ? std::to_string(job.result.total_cache_evictions())
@@ -203,9 +221,13 @@ TextTable campaign_summary_table(const CampaignResult& result,
   }
   // Campaign-wide rollup so catalog runs show the cross-job sharing benefit
   // (under kShared `cache[KiB]` is the shared cache's live footprint).
+  // jobs/s counts every disposed job; ok/s only the ones that delivered a
+  // prediction — the two diverge when shards crash or pipelines throw.
   table.add_row({"all", "campaign", std::to_string(result.succeeded()) + " ok",
                  "-", TextTable::num(result.mean_quality()),
                  TextTable::num(result.wall_seconds, 2),
+                 TextTable::num(result.jobs_per_second()),
+                 TextTable::num(result.succeeded_per_second()),
                  TextTable::num(100.0 * result.cache_hit_rate(), 1),
                  std::to_string(result.cache_evictions()),
                  kib(result.cache_bytes())});

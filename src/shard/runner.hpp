@@ -1,0 +1,123 @@
+// Sharded campaigns: fan one catalog out over N worker PROCESSES and merge
+// their streams back into a single CampaignResult that is byte-identical
+// (canonical reports, cache off/step) to running the whole catalog in one
+// process at the same seeds.
+//
+// Topology: run_sharded_campaign() fork/execs N copies of the current
+// executable (/proc/self/exe) in a hidden `--shard-worker` mode. Each worker
+// receives a WorkerConfig frame on stdin, re-expands the catalog spec text
+// deterministically, takes the round-robin slice
+// synth::shard_slice_indices(total, k, N), and runs it through the ordinary
+// in-process CampaignScheduler with job_index_offset = k, stride = N — so
+// every job computes the same global index, and therefore the same seed and
+// the same bits, as the single-process run. Finished jobs stream back over
+// the worker's stdout pipe as wire frames (src/shard/wire.hpp) in completion
+// order; the parent poll()s all pipes, decodes incrementally, and slots
+// records into submission order.
+//
+// Why processes and not more threads: job pipelines already saturate a
+// process with two-level thread parallelism; shards add memory isolation (a
+// crashing job takes down one slice, not the campaign — see the killed-shard
+// handling below) and are the rehearsal for the ROADMAP's multi-host
+// distribution, whose transport is exactly this wire format.
+//
+// Crash containment: a worker that dies mid-stream (nonzero exit, signal,
+// torn frame) costs only its unreported jobs — every CRC-complete frame
+// already received is kept, the campaign completes, and the missing jobs are
+// synthesized as kFailed records with their correct deterministic seeds
+// (service::campaign_job_seed) and an error naming the dead shard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/campaign.hpp"
+#include "shard/wire.hpp"
+
+namespace essns::shard {
+
+/// How one worker process fared, for the per-shard utilization report.
+struct ShardReport {
+  std::uint32_t shard_index = 0;
+  std::size_t jobs_assigned = 0;
+  std::size_t jobs_received = 0;  ///< complete kJobRecord frames decoded
+  /// From the worker's ShardSummary (0 until summary_received).
+  double wall_seconds = 0.0;
+  double busy_seconds = 0.0;
+  std::uint32_t job_concurrency = 1;  ///< concurrency the slice ran at
+  bool summary_received = false;
+  /// Worker exited 0 after a clean kEnd with every assigned job reported.
+  bool clean = false;
+  /// Raw exit status description ("exit 0", "exit 42", "signal 9") plus any
+  /// wire/decode error; empty only for clean shards.
+  std::string error;
+
+  /// busy / (wall * job_concurrency): how full this worker's job slots were.
+  double utilization() const {
+    const double capacity = wall_seconds * static_cast<double>(job_concurrency);
+    return capacity <= 0.0 ? 0.0 : busy_seconds / capacity;
+  }
+};
+
+struct ShardedCampaignOptions {
+  /// Worker processes to launch (>= 1; 1 still forks a single worker, so
+  /// the process topology is exercised even in the baseline arm).
+  unsigned shards = 2;
+  /// Campaign configuration, in the same vocabulary as a single-process
+  /// run: job_concurrency is the CAMPAIGN-WIDE concurrency target (each
+  /// worker gets ceil(job_concurrency / shards) slots), total_workers the
+  /// campaign-wide simulation budget used to derive the forced per-job
+  /// worker count, and on_job_done fires in the PARENT as records arrive
+  /// (completion order across shards is nondeterministic; the merged result
+  /// is not). trace_out fans out to <path>.shard<k> files written by the
+  /// workers; metrics_out becomes ONE merged rollup written by the parent.
+  service::CampaignConfig config;
+  /// Catalog spec text (synth::parse_catalog_spec); "" = default catalog.
+  /// Workers re-expand this text rather than receiving workloads, so the
+  /// partition is a pure function of (catalog, shards).
+  std::string catalog_text;
+  /// Executable to re-invoke in --shard-worker mode; "" = /proc/self/exe.
+  std::string exe_path;
+  /// Aggregate per-shard metrics scrapes into ShardedCampaignResult::metrics
+  /// even when config.metrics_out is empty (benches splice it into JSON).
+  bool collect_metrics = false;
+
+  /// Test hooks for the killed-shard arms: shard `debug_crash_shard` calls
+  /// _exit(kCrashExitCode) after streaming `debug_crash_after_jobs` job
+  /// frames. -1 disables.
+  int debug_crash_shard = -1;
+  int debug_crash_after_jobs = 0;
+};
+
+struct ShardedCampaignResult {
+  /// Merged campaign in submission order: streamed records byte-equal to
+  /// the single-process run's, synthesized kFailed records for jobs lost to
+  /// a dead shard. job_concurrency / workers_per_job are the campaign-wide
+  /// values, so canonical reports match the unsharded run's bytes.
+  service::CampaignResult campaign;
+  std::vector<ShardReport> shards;  ///< indexed by shard
+  /// Merged metrics rollup (sum of the per-shard scrapes; empty unless
+  /// metrics were requested). Identical in format — and, totals being
+  /// exact, in content — to a single-process scrape of the same campaign.
+  obs::MetricsSnapshot metrics;
+
+  bool all_shards_clean() const;
+};
+
+/// Launch, stream, merge. Throws Error on launcher-level failures (bad
+/// options, pipe/fork exhaustion, unparsable catalog); worker-level death is
+/// NOT an exception — it is recorded in shards[] and as kFailed jobs.
+ShardedCampaignResult run_sharded_campaign(
+    const ShardedCampaignOptions& options);
+
+/// Entry point for the hidden --shard-worker mode: read the WorkerConfig
+/// frame stream from stdin, run the slice, stream frames to stdout. Returns
+/// the process exit code (0 on success; diagnostics go to stderr, which the
+/// worker inherits from the parent). Host executables (essns_cli,
+/// bench_shard, the shard test binary) call this before any other argv
+/// handling when argv[1] == "--shard-worker".
+int shard_worker_main();
+
+}  // namespace essns::shard

@@ -50,6 +50,61 @@ TEST(AsciiGridTest, ReadRejectsUnknownKey) {
   EXPECT_THROW(read_ascii_grid(buffer), IoError);
 }
 
+// Regression tests for the strict common/parse.hpp port: the old stream
+// extraction silently truncated "32.5" to 32 columns and accepted prefix
+// junk; every malformed token must now throw IoError naming it.
+
+TEST(AsciiGridTest, ReadRejectsFractionalDimensions) {
+  std::stringstream buffer(
+      "ncols 2.5\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n"
+      "NODATA_value -9999\n1 2 3 4");
+  EXPECT_THROW(read_ascii_grid(buffer), IoError);
+}
+
+TEST(AsciiGridTest, ReadRejectsHexDimensions) {
+  std::stringstream buffer(
+      "ncols 0x2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n"
+      "NODATA_value -9999\n1 2 3 4");
+  EXPECT_THROW(read_ascii_grid(buffer), IoError);
+}
+
+TEST(AsciiGridTest, ReadRejectsJunkHeaderValue) {
+  std::stringstream buffer(
+      "ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1m\n"
+      "NODATA_value -9999\n1 2 3 4");
+  EXPECT_THROW(read_ascii_grid(buffer), IoError);
+}
+
+TEST(AsciiGridTest, ReadRejectsJunkDataValue) {
+  std::stringstream buffer(
+      "ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n"
+      "NODATA_value -9999\n1 2 3 4x");
+  EXPECT_THROW(read_ascii_grid(buffer), IoError);
+}
+
+TEST(AsciiGridTest, ReadRejectsBareSignDataValue) {
+  std::stringstream buffer(
+      "ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n"
+      "NODATA_value -9999\n1 2 - 4");
+  EXPECT_THROW(read_ascii_grid(buffer), IoError);
+}
+
+TEST(AsciiGridTest, ReadRejectsTrailingData) {
+  std::stringstream buffer(
+      "ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n"
+      "NODATA_value -9999\n1 2 3 4 5");
+  EXPECT_THROW(read_ascii_grid(buffer), IoError);
+}
+
+TEST(AsciiGridTest, ReadAcceptsScientificNotationValues) {
+  std::stringstream buffer(
+      "ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n"
+      "NODATA_value -9999\n1e2 -2.5E-3 0.0 4");
+  const Grid<double> grid = read_ascii_grid(buffer);
+  EXPECT_DOUBLE_EQ(grid(0, 0), 100.0);
+  EXPECT_DOUBLE_EQ(grid(0, 1), -2.5e-3);
+}
+
 TEST(AsciiGridTest, FileRoundTrip) {
   Grid<double> g(3, 3, 7.0);
   const std::string path = testing::TempDir() + "/essns_grid_test.asc";

@@ -219,6 +219,117 @@ TEST(CampaignReport, SummaryJsonCarriesThroughput) {
   EXPECT_EQ(table.row_count(), result.jobs.size() + 1);
 }
 
+TEST(CampaignResultStats, SucceededPerSecondCountsOnlyDeliveredJobs) {
+  CampaignResult result;
+  result.jobs.resize(4);
+  result.jobs[0].status = JobStatus::kSucceeded;
+  result.jobs[1].status = JobStatus::kSucceeded;
+  result.jobs[2].status = JobStatus::kSucceeded;
+  result.jobs[3].status = JobStatus::kFailed;
+  result.wall_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(result.jobs_per_second(), 2.0);       // 4 disposed / 2s
+  EXPECT_DOUBLE_EQ(result.succeeded_per_second(), 1.5);  // 3 delivered / 2s
+
+  result.wall_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(result.succeeded_per_second(), 0.0);
+
+  // Both land in the summary JSON, jobs_per_second first.
+  result.wall_seconds = 2.0;
+  const std::string json = campaign_summary_json(result);
+  const auto jps = json.find("\"jobs_per_second\":2");
+  const auto sps = json.find("\"succeeded_per_second\":1.5");
+  ASSERT_NE(jps, std::string::npos);
+  ASSERT_NE(sps, std::string::npos);
+  EXPECT_LT(jps, sps);
+}
+
+TEST(CampaignReport, ZeroTimingsRendersWallClockFieldsAsZero) {
+  const CampaignResult result =
+      CampaignScheduler(tiny_config()).run(tiny_workloads());
+  const ReportOptions zero{/*zero_timings=*/true};
+
+  std::ostringstream jsonl;
+  write_campaign_jsonl(result, jsonl, zero);
+  EXPECT_NE(jsonl.str().find("\"elapsed_seconds\":0"), std::string::npos);
+  EXPECT_EQ(jsonl.str().find("\"elapsed_seconds\":0."), std::string::npos)
+      << "every elapsed field must render exactly as 0";
+
+  const std::string summary = campaign_summary_json(result, zero);
+  EXPECT_NE(summary.find("\"wall_seconds\":0,"), std::string::npos);
+  EXPECT_NE(summary.find("\"jobs_per_second\":0,"), std::string::npos);
+  EXPECT_NE(summary.find("\"succeeded_per_second\":0,"), std::string::npos);
+  // The deterministic fields stay untouched: mean_quality renders the same
+  // bytes in canonical and wall-clock mode.
+  const auto field = [](const std::string& json, const std::string& key) {
+    const auto start = json.find(key);
+    EXPECT_NE(start, std::string::npos) << key;
+    return json.substr(start, json.find(',', start) - start);
+  };
+  EXPECT_EQ(field(summary, "\"mean_quality\":"),
+            field(campaign_summary_json(result), "\"mean_quality\":"));
+
+  // Two runs of the same campaign render identical canonical bytes (the
+  // default "wall" mode differs in the timing fields).
+  const CampaignResult again =
+      CampaignScheduler(tiny_config()).run(tiny_workloads());
+  std::ostringstream jsonl_again;
+  write_campaign_jsonl(again, jsonl_again, zero);
+  EXPECT_EQ(jsonl.str(), jsonl_again.str());
+}
+
+TEST(CampaignScheduler, IndexOffsetAndStrideDefineGlobalJobIdentity) {
+  // A sharded worker runs a round-robin slice under offset/stride; each
+  // slice job must be bit-identical to the same global index in the full
+  // run — this is the whole determinism story of src/shard/.
+  const auto workloads = tiny_workloads();
+  CampaignConfig config = tiny_config();
+  const CampaignResult full = CampaignScheduler(config).run(workloads);
+
+  const std::size_t shards = 2;
+  for (std::size_t k = 0; k < shards; ++k) {
+    std::vector<synth::Workload> slice;
+    for (std::size_t i = k; i < workloads.size(); i += shards)
+      slice.push_back(workloads[i]);
+    CampaignConfig shard_config = tiny_config();
+    shard_config.job_index_offset = k;
+    shard_config.job_index_stride = shards;
+    const CampaignResult part = CampaignScheduler(shard_config).run(slice);
+    ASSERT_EQ(part.jobs.size(), slice.size());
+    for (std::size_t i = 0; i < part.jobs.size(); ++i) {
+      const JobRecord& a = part.jobs[i];
+      const JobRecord& b = full.jobs[k + i * shards];
+      EXPECT_EQ(a.index, b.index);
+      EXPECT_EQ(a.seed, b.seed);
+      ASSERT_EQ(a.result.steps.size(), b.result.steps.size());
+      for (std::size_t s = 0; s < a.result.steps.size(); ++s) {
+        EXPECT_EQ(a.result.steps[s].prediction_quality,
+                  b.result.steps[s].prediction_quality);
+        EXPECT_EQ(a.result.steps[s].os_evaluations,
+                  b.result.steps[s].os_evaluations);
+      }
+    }
+  }
+}
+
+TEST(CampaignScheduler, ForcedWorkersPerJobOverridesTheSplit) {
+  CampaignConfig config = tiny_config();
+  config.job_concurrency = 2;
+  config.total_workers = 8;
+  EXPECT_EQ(CampaignScheduler(config).workers_per_job(8), 4u);
+  config.forced_workers_per_job = 3;
+  EXPECT_EQ(CampaignScheduler(config).workers_per_job(8), 3u);
+
+  const CampaignResult result =
+      CampaignScheduler(config).run(tiny_workloads());
+  for (const JobRecord& job : result.jobs) EXPECT_EQ(job.workers, 3u);
+}
+
+TEST(CampaignScheduler, RejectsZeroStride) {
+  CampaignConfig config = tiny_config();
+  config.job_index_stride = 0;
+  EXPECT_THROW(CampaignScheduler{config}, InvalidArgument);
+}
+
 TEST(CampaignScheduler, SharedCacheBitIdenticalToOffAcrossConcurrency) {
   // The acceptance property of the shared cache: every cached value is a
   // byte-exact pure function of its key, so a campaign run with the shared

@@ -1,0 +1,16 @@
+// Custom gtest main: this binary doubles as the --shard-worker host that
+// run_sharded_campaign() re-invokes via /proc/self/exe, so the worker
+// dispatch must run before gtest sees argv (and the module links GTest::gtest
+// without gtest_main).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "shard/runner.hpp"
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--shard-worker") == 0)
+    return essns::shard::shard_worker_main();
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
