@@ -5,6 +5,7 @@
 //   essns_cli @run.conf            (read keys from a file)
 //   essns_cli campaign --jobs 4 --workers 4 sizes=32 generations=10
 //   essns_cli campaign --catalog catalog.conf jsonl=jobs.jsonl
+//   essns_cli serve --port 7733 --jobs 2 --workers 4
 //   essns_cli --help
 #include <cstdio>
 #include <cstdlib>
@@ -13,11 +14,14 @@
 #include <sstream>
 #include <string>
 
+#include "cache/cache_io.hpp"
 #include "common/parse.hpp"
 #include "common/table.hpp"
 #include "ess/config.hpp"
+#include "serve/server.hpp"
 #include "service/campaign.hpp"
 #include "service/report.hpp"
+#include "service/signals.hpp"
 #include "shard/runner.hpp"
 #include "synth/catalog.hpp"
 
@@ -28,7 +32,8 @@ using namespace essns;
 void print_help() {
   std::printf(
       "usage: essns_cli [key=value ...] [@config-file]\n"
-      "       essns_cli campaign [flags] [key=value ...]\n\n"
+      "       essns_cli campaign [flags] [key=value ...]\n"
+      "       essns_cli serve [flags] [key=value ...]\n\n"
       "single run\n"
       "  keys: workload size method seed generations fitness_threshold\n"
       "        population offspring workers novelty_k islands cache\n"
@@ -75,6 +80,13 @@ void print_help() {
       "                   pool counters plus p50/p90/p99 latency histograms\n"
       "                   (also valid in single-run mode; 'none' disables;\n"
       "                   result-neutral like --trace)\n"
+      "    --cache-load F restore a cache snapshot (written by --cache-save\n"
+      "                   or serve) before the campaign; requires --cache\n"
+      "                   shared. Entries are re-accounted against this\n"
+      "                   run's --cache-mem budget; results stay\n"
+      "                   bit-identical to a cold run\n"
+      "    --cache-save F write the shared cache to F after the campaign\n"
+      "                   (requires --cache shared) for a later warm start\n"
       "    --catalog F    read a catalog spec (key=value file) instead of\n"
       "                   the built-in default catalog (8 workloads)\n"
       "    --shards N     fan the catalog out over N worker PROCESSES\n"
@@ -102,7 +114,28 @@ void print_help() {
       "                 terrains:  plains hills rugged\n"
       "                 weather:   steady wind_shift diurnal\n"
       "                 ignitions: center offset edge corner\n\n"
-      "exit status: 0 all jobs succeeded, 1 on usage/config error,\n"
+      "serve — long-lived prediction server (newline-delimited protocol\n"
+      "        over TCP; see README 'Serving'). One engine, one warm cache.\n"
+      "  flags:\n"
+      "    --host A       bind address (default 127.0.0.1)\n"
+      "    --port N       TCP port; 0 picks an ephemeral port (default 0)\n"
+      "    --port-file F  write the chosen port to F once listening\n"
+      "    --jobs N       prediction jobs in flight at once (default 1)\n"
+      "    --workers N    total simulation-worker budget (default 1)\n"
+      "    --queue N      pending-request bound beyond the running jobs;\n"
+      "                   excess requests get 'err ... rejected' (default 16)\n"
+      "    --cache-mem M  shared-cache byte budget in MiB (default 256)\n"
+      "    --cache-load F restore a cache snapshot before serving\n"
+      "    --cache-save F write the cache snapshot on clean shutdown\n"
+      "    --simd K / --numa P / --trace F / --metrics-out F  as above\n"
+      "  serve keys (defaults for requests that do not override them):\n"
+      "    seed terrain size weather ignition steps step_minutes noise\n"
+      "    method generations fitness_threshold population offspring\n"
+      "    novelty_k islands\n"
+      "  SIGINT/SIGTERM drain gracefully: in-flight jobs finish, queued ones\n"
+      "  are cancelled with a response, the cache snapshot is still saved.\n\n"
+      "exit status: 0 all jobs succeeded (or clean serve shutdown),\n"
+      "             1 on usage/config error,\n"
       "             2 when the campaign finished with failed jobs\n");
 }
 
@@ -191,6 +224,8 @@ int run_campaign(int argc, char** argv) {
   std::string summary_path = "campaign_summary.json";
   service::ReportOptions report_options;
   unsigned shards = 0;  // 0 = in-process (unsharded) campaign
+  std::string cache_load_path;
+  std::string cache_save_path;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -199,7 +234,8 @@ int run_campaign(int argc, char** argv) {
       return 0;
     }
     if (arg == "--jobs" || arg == "--workers" || arg == "--cache" ||
-        arg == "--cache-mem" || arg == "--simd" || arg == "--numa" ||
+        arg == "--cache-mem" || arg == "--cache-load" ||
+        arg == "--cache-save" || arg == "--simd" || arg == "--numa" ||
         arg == "--trace" || arg == "--metrics-out" || arg == "--catalog" ||
         arg == "--shards") {
       if (i + 1 >= argc) {
@@ -220,6 +256,10 @@ int run_campaign(int argc, char** argv) {
             static_cast<std::size_t>(
                 require_positive_int("--cache-mem", value))
             << 20;
+      } else if (arg == "--cache-load") {
+        cache_load_path = value;
+      } else if (arg == "--cache-save") {
+        cache_save_path = value;
       } else if (arg == "--simd") {
         config.simd_mode = require_simd_mode("--simd", value);
       } else if (arg == "--numa") {
@@ -242,6 +282,11 @@ int run_campaign(int argc, char** argv) {
         catalog_file_text += text.str() + "\n";
       }
       continue;
+    }
+    if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s' for campaign (see --help)\n",
+                   arg.c_str());
+      return 1;
     }
 
     const auto eq = arg.find('=');
@@ -292,6 +337,25 @@ int run_campaign(int argc, char** argv) {
     }
   }
 
+  if (!cache_load_path.empty() || !cache_save_path.empty()) {
+    if (config.cache_policy != cache::CachePolicy::kShared) {
+      std::fprintf(stderr,
+                   "--cache-load/--cache-save need --cache shared (the "
+                   "snapshot is the shared cache)\n");
+      return 1;
+    }
+    if (shards > 0) {
+      std::fprintf(stderr,
+                   "--cache-load/--cache-save are incompatible with --shards "
+                   "(worker processes do not share one cache)\n");
+      return 1;
+    }
+  }
+
+  // Drain instead of die on SIGINT/SIGTERM: in-flight jobs finish, queued
+  // ones resolve as cancelled records, and every report below still writes.
+  service::ScopedSignalDrain drain_on_signal;
+
   try {
     const std::string catalog_text = catalog_file_text + catalog_inline_text;
     const synth::CatalogSpec spec = synth::parse_catalog_spec(catalog_text);
@@ -316,6 +380,23 @@ int run_campaign(int argc, char** argv) {
                   job.error.empty() ? "" : "  ", job.error.c_str());
       std::fflush(stdout);
     };
+
+    std::shared_ptr<cache::SharedScenarioCache> persistent_cache;
+    if (!cache_load_path.empty() || !cache_save_path.empty()) {
+      persistent_cache = std::make_shared<cache::SharedScenarioCache>(
+          config.cache_mem_bytes);
+      if (!cache_load_path.empty()) {
+        const cache::RestoreStats restored =
+            cache::load_cache(*persistent_cache, cache_load_path);
+        std::printf(
+            "cache: restored %zu/%zu entries from %s (%zu evicted, %zu "
+            "rejected by the %.0f MiB budget)\n",
+            restored.restored, restored.entries_in_file,
+            cache_load_path.c_str(), restored.evictions, restored.rejected,
+            static_cast<double>(config.cache_mem_bytes) / (1024.0 * 1024.0));
+      }
+      config.shared_cache = persistent_cache;
+    }
 
     service::CampaignResult result;
     std::vector<shard::ShardReport> shard_reports;
@@ -384,9 +465,177 @@ int run_campaign(int argc, char** argv) {
       out << service::campaign_summary_json(result, report_options) << "\n";
       std::printf("wrote %s\n", summary_path.c_str());
     }
+    if (!cache_save_path.empty()) {
+      const std::size_t saved =
+          cache::save_cache(*persistent_cache, cache_save_path);
+      std::printf("cache: saved %zu entries to %s\n", saved,
+                  cache_save_path.c_str());
+    }
+    if (service::drain_requested())
+      std::printf(
+          "campaign drained early (signal received): finished jobs are "
+          "reported above, cancelled ones as failed records\n");
     return result.failed() == 0 ? 0 : 2;
   } catch (const Error& e) {
     std::fprintf(stderr, "campaign error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_serve(int argc, char** argv) {
+  serve::ServeConfig config;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      print_help();
+      return 0;
+    }
+    if (arg == "--host" || arg == "--port" || arg == "--port-file" ||
+        arg == "--jobs" || arg == "--workers" || arg == "--queue" ||
+        arg == "--cache-mem" || arg == "--cache-load" ||
+        arg == "--cache-save" || arg == "--simd" || arg == "--numa" ||
+        arg == "--trace" || arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s expects a value\n", arg.c_str());
+        return 1;
+      }
+      const char* value = argv[++i];
+      if (arg == "--host") {
+        config.host = value;
+      } else if (arg == "--port") {
+        const auto port = parse_int(value);
+        if (!port || *port < 0 || *port > 65535) {
+          std::fprintf(stderr, "--port expects 0..65535, got '%s'\n", value);
+          return 1;
+        }
+        config.port = *port;
+      } else if (arg == "--port-file") {
+        config.port_file = value;
+      } else if (arg == "--jobs") {
+        config.job_slots =
+            static_cast<unsigned>(require_positive_int("--jobs", value));
+      } else if (arg == "--workers") {
+        config.total_workers =
+            static_cast<unsigned>(require_positive_int("--workers", value));
+      } else if (arg == "--queue") {
+        config.queue_capacity = static_cast<std::size_t>(
+            require_positive_int("--queue", value));
+      } else if (arg == "--cache-mem") {
+        config.cache_mem_bytes =
+            static_cast<std::size_t>(
+                require_positive_int("--cache-mem", value))
+            << 20;
+      } else if (arg == "--cache-load") {
+        config.cache_load = value;
+      } else if (arg == "--cache-save") {
+        config.cache_save = value;
+      } else if (arg == "--simd") {
+        config.simd_mode = require_simd_mode("--simd", value);
+      } else if (arg == "--numa") {
+        config.numa_mode = require_numa_mode("--numa", value);
+      } else if (arg == "--trace") {
+        config.trace_out = std::strcmp(value, "none") == 0 ? "" : value;
+      } else {
+        config.metrics_out = std::strcmp(value, "none") == 0 ? "" : value;
+      }
+      continue;
+    }
+    if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s' for serve (see --help)\n",
+                   arg.c_str());
+      return 1;
+    }
+
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "serve argument is not key=value: %s\n",
+                   arg.c_str());
+      return 1;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "seed") {
+      config.seed = require_uint64("seed", value);
+    } else if (key == "terrain") {
+      const auto terrain = synth::parse_terrain_family(value);
+      if (!terrain) {
+        std::fprintf(stderr, "terrain expects plains|hills|rugged, got '%s'\n",
+                     value.c_str());
+        return 1;
+      }
+      config.default_fire.terrain = *terrain;
+    } else if (key == "weather") {
+      const auto weather = synth::parse_weather_regime(value);
+      if (!weather) {
+        std::fprintf(stderr,
+                     "weather expects steady|wind_shift|diurnal, got '%s'\n",
+                     value.c_str());
+        return 1;
+      }
+      config.default_fire.weather = *weather;
+    } else if (key == "ignition") {
+      const auto ignition = synth::parse_ignition_pattern(value);
+      if (!ignition) {
+        std::fprintf(stderr,
+                     "ignition expects center|offset|edge|corner, got '%s'\n",
+                     value.c_str());
+        return 1;
+      }
+      config.default_fire.ignition = *ignition;
+    } else if (key == "size") {
+      config.default_fire.size = require_positive_int("size", value);
+    } else if (key == "steps") {
+      config.default_fire.steps = require_positive_int("steps", value);
+    } else if (key == "step_minutes") {
+      config.default_fire.step_minutes = require_double("step_minutes", value);
+    } else if (key == "noise") {
+      config.default_fire.observation_noise = require_double("noise", value);
+    } else if (key == "method") {
+      config.default_spec.method = value;
+    } else if (key == "generations") {
+      config.default_spec.generations =
+          require_positive_int("generations", value);
+    } else if (key == "fitness_threshold") {
+      config.default_spec.fitness_threshold =
+          require_double("fitness_threshold", value);
+    } else if (key == "population") {
+      config.default_spec.population = static_cast<std::size_t>(
+          require_positive_int("population", value));
+    } else if (key == "offspring") {
+      config.default_spec.offspring = static_cast<std::size_t>(
+          require_positive_int("offspring", value));
+    } else if (key == "novelty_k") {
+      config.default_spec.novelty_k = require_positive_int("novelty_k", value);
+    } else if (key == "islands") {
+      config.default_spec.islands = require_positive_int("islands", value);
+    } else {
+      std::fprintf(stderr, "unknown serve key: %s\n", key.c_str());
+      return 1;
+    }
+  }
+
+  // SIGINT/SIGTERM drain the server exactly like the `shutdown` verb: the
+  // poll loop notices, in-flight jobs finish, the cache snapshot still saves.
+  service::ScopedSignalDrain drain_on_signal;
+
+  try {
+    serve::Server server(std::move(config));
+    server.start();
+    std::printf("serving on port %d (%u job slots, %u workers, queue %zu)\n",
+                server.port(), server.engine().job_slots(),
+                server.engine().config().total_workers,
+                server.engine().config().queue_capacity);
+    if (server.restored_entries() > 0)
+      std::printf("cache: restored %zu entries — starting warm\n",
+                  server.restored_entries());
+    std::fflush(stdout);
+    const int rc = server.run();
+    std::printf("server stopped%s\n",
+                service::drain_requested() ? " (signal drain)" : "");
+    return rc;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "serve error: %s\n", e.what());
     return 1;
   }
 }
@@ -450,6 +699,15 @@ int run_single(int argc, char** argv) {
       config_text << "metrics_out=" << argv[++i] << '\n';
       continue;
     }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_help();
+      return 0;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s' for single-run mode (see --help)\n",
+                   argv[i]);
+      return 1;
+    }
     if (argv[i][0] == '@') {
       std::ifstream file(argv[i] + 1);
       if (!file) {
@@ -506,5 +764,7 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "campaign") == 0)
     return run_campaign(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+    return run_serve(argc, argv);
   return run_single(argc, argv);
 }

@@ -307,6 +307,16 @@ CacheStats ScenarioCacheShard::stats() const {
   return stats;
 }
 
+void ScenarioCacheShard::export_entries(std::vector<ExportedEntry>& out) const {
+  std::lock_guard lock(mutex_);
+  // Both lists keep MRU at the front; walking back-to-front emits coldest
+  // first, probation (colder segment) before protected.
+  for (auto it = probation_.rbegin(); it != probation_.rend(); ++it)
+    out.push_back({it->key, it->value, it->cost_seconds});
+  for (auto it = protected_.rbegin(); it != protected_.rend(); ++it)
+    out.push_back({it->key, it->value, it->cost_seconds});
+}
+
 SharedScenarioCache::SharedScenarioCache(std::size_t max_bytes,
                                          std::size_t shard_count)
     : max_bytes_(max_bytes) {
@@ -354,6 +364,12 @@ CacheStats SharedScenarioCache::stats() const {
     total.bytes += s.bytes;
   }
   return total;
+}
+
+std::vector<ExportedEntry> SharedScenarioCache::export_entries() const {
+  std::vector<ExportedEntry> out;
+  for (const auto& shard : shards_) shard->export_entries(out);
+  return out;
 }
 
 }  // namespace essns::cache

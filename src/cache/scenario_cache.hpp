@@ -163,6 +163,16 @@ struct InsertOutcome {
   bool rejected = false;
 };
 
+/// One live entry exported for persistence (cache/cache_io.hpp): the key,
+/// the shared value, and the accumulated observed simulation cost that
+/// weights eviction — restoring the cost keeps eviction cost-aware across
+/// restarts.
+struct ExportedEntry {
+  ScenarioKey key;
+  std::shared_ptr<const CachedScenario> value;
+  double cost_seconds = 0.0;
+};
+
 /// One mutex-protected segment of the shared cache. Segmented LRU: a first
 /// hit promotes an entry from the probationary list to the protected list
 /// (capped at ~4/5 of the shard budget; overflow demotes back). Eviction
@@ -195,6 +205,12 @@ class ScenarioCacheShard {
 
   CacheStats stats() const;
   std::size_t max_bytes() const { return max_bytes_; }
+
+  /// Append every live entry, coldest first (probationary LRU -> MRU, then
+  /// protected LRU -> MRU): re-inserting a snapshot in order leaves the
+  /// hottest entries most recently used again. Values are shared, not
+  /// copied.
+  void export_entries(std::vector<ExportedEntry>& out) const;
 
  private:
   struct Entry {
@@ -251,6 +267,11 @@ class SharedScenarioCache {
 
   std::size_t max_bytes() const { return max_bytes_; }
   std::size_t shard_count() const { return shards_.size(); }
+
+  /// Snapshot of every live entry across the shards (each shard coldest
+  /// first), for serialization. Consistent per shard, not globally: entries
+  /// inserted concurrently with the export may or may not appear.
+  std::vector<ExportedEntry> export_entries() const;
 
  private:
   ScenarioCacheShard& shard_for(const ScenarioKey& key);

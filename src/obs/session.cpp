@@ -9,7 +9,8 @@ bool path_enabled(const std::string& path) {
 
 }  // namespace
 
-ObsSession::ObsSession(std::string trace_path, std::string metrics_path)
+ObsSession::ObsSession(std::string trace_path, std::string metrics_path,
+                       bool force_metrics)
     : trace_path_(std::move(trace_path)),
       metrics_path_(std::move(metrics_path)) {
   if (path_enabled(trace_path_)) {
@@ -18,7 +19,7 @@ ObsSession::ObsSession(std::string trace_path, std::string metrics_path)
     // Claim the timeline lane for the calling thread up front.
     set_thread_name("master");
   }
-  if (path_enabled(metrics_path_)) {
+  if (path_enabled(metrics_path_) || force_metrics) {
     registry_ = std::make_unique<MetricsRegistry>();
     install_metrics_registry(registry_.get());
   }
@@ -43,7 +44,9 @@ void ObsSession::finish() {
   if (registry_ && metrics_registry() == registry_.get())
     install_metrics_registry(nullptr);
   if (recorder_) recorder_->write_chrome_json(trace_path_);
-  if (registry_) registry_->write_json(metrics_path_);
+  // A force_metrics registry may have no output path: scrape-only session.
+  if (registry_ && path_enabled(metrics_path_))
+    registry_->write_json(metrics_path_);
 }
 
 }  // namespace essns::obs

@@ -17,7 +17,12 @@ namespace essns::obs {
 
 class ObsSession {
  public:
-  ObsSession(std::string trace_path, std::string metrics_path);
+  /// `force_metrics` installs a MetricsRegistry even when `metrics_path`
+  /// is disabled — long-lived engines scrape it live (serve's `metrics`
+  /// verb) instead of waiting for a file at teardown; finish() still only
+  /// writes a file when a path was given.
+  ObsSession(std::string trace_path, std::string metrics_path,
+             bool force_metrics = false);
   ~ObsSession();
 
   ObsSession(const ObsSession&) = delete;

@@ -1,0 +1,97 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace essns::serve {
+
+LineClient::LineClient(const std::string& host, int port,
+                       double timeout_seconds) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw IoError("client: socket() failed: " +
+                  std::string(std::strerror(errno)));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("client: bad address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("client: connect(" + host + ":" + std::to_string(port) +
+                  ") failed: " + reason);
+  }
+
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval timeout{};
+  timeout.tv_sec = static_cast<time_t>(timeout_seconds);
+  timeout.tv_usec = static_cast<suseconds_t>(
+      (timeout_seconds - std::floor(timeout_seconds)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+}
+
+LineClient::~LineClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void LineClient::send_line(const std::string& line) {
+  std::string payload = line;
+  payload += '\n';
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n =
+        ::send(fd_, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0)
+      throw IoError("client: send failed: " +
+                    std::string(std::strerror(errno)));
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string LineClient::read_line() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0)
+      throw IoError("client: server closed the connection");
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw IoError("client: timed out waiting for a response line");
+      throw IoError("client: recv failed: " +
+                    std::string(std::strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string LineClient::request(const std::string& line) {
+  send_line(line);
+  return read_line();
+}
+
+}  // namespace essns::serve

@@ -10,16 +10,6 @@
 #include "parallel/thread_pool.hpp"
 
 namespace essns::service {
-
-// Chained combine_seed (not a one-shot XOR) keeps coincidental cancellation
-// between the inputs from colliding two jobs onto one stream.
-std::uint64_t campaign_job_seed(std::uint64_t campaign_seed,
-                                std::uint64_t workload_seed,
-                                std::size_t index) {
-  return combine_seed(combine_seed(campaign_seed, workload_seed),
-                      static_cast<std::uint64_t>(index + 1));
-}
-
 namespace {
 
 ess::RunSpec to_run_spec(const CampaignConfig& config) {
@@ -35,10 +25,6 @@ ess::RunSpec to_run_spec(const CampaignConfig& config) {
 }
 
 }  // namespace
-
-const char* to_string(JobStatus status) {
-  return status == JobStatus::kSucceeded ? "succeeded" : "failed";
-}
 
 std::size_t CampaignResult::succeeded() const {
   return static_cast<std::size_t>(
@@ -129,6 +115,21 @@ CampaignScheduler::CampaignScheduler(CampaignConfig config)
   (void)ess::make_optimizer(to_run_spec(config_));
 }
 
+JobSpec CampaignScheduler::job_spec() const {
+  JobSpec spec;
+  spec.method = config_.method;
+  spec.generations = config_.generations;
+  spec.fitness_threshold = config_.fitness_threshold;
+  spec.population = config_.population;
+  spec.offspring = config_.offspring;
+  spec.novelty_k = config_.novelty_k;
+  spec.islands = config_.islands;
+  spec.max_solution_maps = config_.max_solution_maps;
+  spec.cache_policy = config_.cache_policy;
+  spec.keep_final_maps = config_.keep_final_maps;
+  return spec;
+}
+
 unsigned CampaignScheduler::workers_per_job(std::size_t job_count) const {
   if (config_.forced_workers_per_job > 0) return config_.forced_workers_per_job;
   const unsigned in_flight = static_cast<unsigned>(
@@ -192,6 +193,72 @@ JobRecord CampaignScheduler::run_job(
 }
 
 CampaignResult CampaignScheduler::run(
+    const std::vector<synth::Workload>& workloads) const {
+  CampaignResult result;
+  result.job_concurrency = config_.job_concurrency;
+  result.workers_per_job = workers_per_job(workloads.size());
+  result.cache_policy = config_.cache_policy;
+  result.jobs.resize(workloads.size());
+
+  // One engine for the batch: job_slots = the effective concurrency, queue
+  // sized to admit every job up front. The engine owns the obs session and
+  // the shared cache for exactly the span the old scheduler did — its
+  // destructor (end of scope) writes trace/metrics after the slots join,
+  // which also covers the empty-workloads early return.
+  EngineConfig engine_config;
+  engine_config.job_slots = static_cast<unsigned>(std::min<std::size_t>(
+      config_.job_concurrency, std::max<std::size_t>(workloads.size(), 1)));
+  engine_config.total_workers = config_.total_workers;
+  engine_config.queue_capacity = std::max<std::size_t>(workloads.size(), 1);
+  engine_config.cache_mem_bytes = config_.cache_mem_bytes;
+  if (config_.cache_policy == cache::CachePolicy::kShared)
+    engine_config.shared_cache = config_.shared_cache;
+  engine_config.simd_mode = config_.simd_mode;
+  engine_config.numa_mode = config_.numa_mode;
+  engine_config.trace_out = config_.trace_out;
+  engine_config.metrics_out = config_.metrics_out;
+  engine_config.on_job_done = config_.on_job_done;
+  PredictionEngine engine(engine_config);
+
+  if (workloads.empty()) return result;
+  if (config_.cache_policy == cache::CachePolicy::kShared)
+    result.cache_mem_bytes = engine.shared_cache()->max_bytes();
+
+  obs::SpanTimer wall("campaign");
+
+  // Global job index of the i-th submitted workload: the identity mapping
+  // for whole-catalog runs, a round-robin slice's own positions in sharded
+  // ones (the seed and every report field derive from it).
+  const JobSpec spec = job_spec();
+  std::vector<std::future<JobRecord>> records;
+  records.reserve(workloads.size());
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    JobRequest request;
+    // Alias into the caller's vector — run() outlives every future.
+    request.workload = std::shared_ptr<const synth::Workload>(
+        std::shared_ptr<const synth::Workload>{}, &workloads[i]);
+    request.index = config_.job_index_offset + i * config_.job_index_stride;
+    request.campaign_seed = config_.seed;
+    request.workers = result.workers_per_job;
+    request.spec = spec;
+    Submission submission = engine.submit(std::move(request));
+    // The queue was sized for the whole batch; anything but acceptance is a
+    // scheduler bug, not a runtime condition.
+    ESSNS_REQUIRE(submission.admission == Admission::kAccepted,
+                  "campaign submission rejected: " +
+                      std::string(to_string(submission.admission)));
+    records.push_back(std::move(submission.record));
+  }
+  for (std::size_t i = 0; i < workloads.size(); ++i)
+    result.jobs[i] = records[i].get();
+
+  result.wall_seconds = wall.stop();
+  if (config_.cache_policy == cache::CachePolicy::kShared)
+    result.shared_cache_stats = engine.shared_cache()->stats();
+  return result;
+}
+
+CampaignResult CampaignScheduler::run_reference(
     const std::vector<synth::Workload>& workloads) const {
   // Campaign-wide observability session: installs the recorder/registry
   // before any job starts, uninstalls + writes the output files on the way

@@ -19,6 +19,12 @@
 //
 // Error isolation: a job whose pipeline throws is recorded as kFailed with
 // the exception text; the rest of the campaign completes normally.
+//
+// Since the PredictionEngine extraction, run() is a thin client: it stands
+// up an engine sized for the batch, submits every workload through the
+// admission-controlled queue, and collects the futures in submission order.
+// The pre-engine scheduling loop is retained verbatim as run_reference() —
+// the oracle twin the property tests byte-compare run() against.
 #pragma once
 
 #include <cstdint>
@@ -29,23 +35,10 @@
 
 #include "cache/scenario_cache.hpp"
 #include "ess/pipeline.hpp"
+#include "service/engine.hpp"
 #include "synth/workloads.hpp"
 
 namespace essns::service {
-
-enum class JobStatus { kSucceeded, kFailed };
-
-const char* to_string(JobStatus status);
-
-/// The effective seed of job `index` in a campaign: a pure function of
-/// (campaign seed, workload seed, global job index), independent of
-/// scheduling, job concurrency and sharding — the reason per-job results
-/// are reproducible at any parallelism level. Exposed so the shard launcher
-/// can synthesize correctly-seeded failure records for jobs a crashed
-/// worker never reported.
-std::uint64_t campaign_job_seed(std::uint64_t campaign_seed,
-                                std::uint64_t workload_seed,
-                                std::size_t index);
 
 struct CampaignConfig {
   unsigned job_concurrency = 1;  ///< pipelines in flight at once
@@ -109,23 +102,7 @@ struct CampaignConfig {
 
   /// Invoked once per finished job (success or failure), serialized by the
   /// scheduler. Completion order is nondeterministic under concurrency.
-  std::function<void(const struct JobRecord&)> on_job_done;
-};
-
-/// Status, timings and results of one PredictionJob.
-struct JobRecord {
-  std::size_t index = 0;      ///< position in the submitted workload list
-  std::string workload;
-  int rows = 0;
-  int cols = 0;
-  std::uint64_t seed = 0;     ///< effective job seed (truth + search streams)
-  unsigned workers = 1;       ///< simulation workers this job ran with
-  JobStatus status = JobStatus::kFailed;
-  std::string error;          ///< exception text when status == kFailed
-  ess::PipelineResult result; ///< empty when the job failed
-  double elapsed_seconds = 0.0;
-  Grid<double> final_probability;        ///< set when keep_final_maps
-  Grid<std::uint8_t> final_prediction;   ///< set when keep_final_maps
+  std::function<void(const JobRecord&)> on_job_done;
 };
 
 struct CampaignResult {
@@ -166,14 +143,27 @@ class CampaignScheduler {
  public:
   explicit CampaignScheduler(CampaignConfig config);
 
-  /// Run one PredictionJob per workload. Never throws for job-level
-  /// failures; configuration errors (e.g. an unknown method) throw before
-  /// any job starts.
+  /// Run one PredictionJob per workload by submitting the whole batch
+  /// through a campaign-lifetime PredictionEngine (job_slots =
+  /// job_concurrency, queue sized to hold every job). Never throws for
+  /// job-level failures; configuration errors (e.g. an unknown method)
+  /// throw before any job starts. Byte-identical to run_reference() at the
+  /// same seeds — the property the service tests enforce.
   CampaignResult run(const std::vector<synth::Workload>& workloads) const;
+
+  /// The pre-engine scheduling loop, retained verbatim as the oracle twin:
+  /// its own ObsSession, its own ThreadPool per run, its own job runner.
+  /// Kept for the byte-identity property tests; production callers use
+  /// run().
+  CampaignResult run_reference(
+      const std::vector<synth::Workload>& workloads) const;
 
   /// Even split of total_workers over the jobs actually in flight
   /// (>= 1 per job).
   unsigned workers_per_job(std::size_t job_count) const;
+
+  /// The engine-facing job spec every workload in this campaign runs under.
+  JobSpec job_spec() const;
 
   const CampaignConfig& config() const { return config_; }
 

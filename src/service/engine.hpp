@@ -1,0 +1,260 @@
+// PredictionEngine: the long-lived heart of the service layer.
+//
+// Before this layer, every campaign run constructed and destroyed its own
+// ThreadPool, SharedScenarioCache and observability session — fine for a
+// batch process, wrong for the steady-state workload the paper implies
+// (re-prediction of tracked fires at successive intervals), where the warm
+// cache IS the speedup (bench_cache: ~10x at hit-rate 1.0). The engine owns
+// exactly ONE of each for its lifetime:
+//
+//   - ONE parallel::ThreadPool of `job_slots` job executors,
+//   - ONE cache::SharedScenarioCache shared by every job that asks for the
+//     kShared policy (pre-loadable from disk via cache::load_cache),
+//   - ONE obs session (TraceRecorder + MetricsRegistry) installed for the
+//     engine's whole life, so `serve.*`/`campaign.*` metrics from any number
+//     of submissions accumulate into a single scrape.
+//
+// Submission is admission-controlled: a bounded pending queue (kQueueFull
+// is a normal, non-throwing answer — the backpressure signal a server turns
+// into a reject response), per-request integer priority (higher runs
+// sooner; FIFO within a level), and a worker-budget split (total_workers /
+// job_slots simulation workers per job unless the request pins its own
+// count). Every accepted request resolves to exactly one JobRecord through
+// its future — job-level failures are recorded, never thrown.
+//
+// Determinism: a job's result is a pure function of (workload, campaign
+// seed, index, spec) — see run_prediction_job() — so records are
+// bit-identical no matter which slot ran the job, at what priority, or how
+// full the queue was. CampaignScheduler::run() is a thin client of this
+// class and is property-tested byte-identical against the retained
+// pre-engine scheduler (run_reference()).
+//
+// Graceful drain: slot loops check service::drain_requested() between jobs;
+// once a drain is signalled, queued jobs complete as kFailed "cancelled"
+// records (their futures and callbacks still fire) while in-flight jobs
+// finish normally — the reason an interrupted campaign still writes full
+// reports.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/scenario_cache.hpp"
+#include "ess/pipeline.hpp"
+#include "obs/session.hpp"
+#include "parallel/thread_pool.hpp"
+#include "synth/workloads.hpp"
+
+namespace essns::service {
+
+enum class JobStatus { kSucceeded, kFailed };
+
+const char* to_string(JobStatus status);
+
+/// The effective seed of job `index` in a campaign: a pure function of
+/// (campaign seed, workload seed, global job index), independent of
+/// scheduling, job concurrency and sharding — the reason per-job results
+/// are reproducible at any parallelism level. Exposed so the shard launcher
+/// can synthesize correctly-seeded failure records for jobs a crashed
+/// worker never reported, and so serve oracles can recompute a request's
+/// seed from its parameters alone.
+std::uint64_t campaign_job_seed(std::uint64_t campaign_seed,
+                                std::uint64_t workload_seed,
+                                std::size_t index);
+
+/// Status, timings and results of one PredictionJob.
+struct JobRecord {
+  std::size_t index = 0;      ///< position in the submitted workload list
+  std::string workload;
+  int rows = 0;
+  int cols = 0;
+  std::uint64_t seed = 0;     ///< effective job seed (truth + search streams)
+  unsigned workers = 1;       ///< simulation workers this job ran with
+  JobStatus status = JobStatus::kFailed;
+  std::string error;          ///< exception text when status == kFailed
+  ess::PipelineResult result; ///< empty when the job failed
+  double elapsed_seconds = 0.0;
+  Grid<double> final_probability;        ///< set when keep_final_maps
+  Grid<std::uint8_t> final_prediction;   ///< set when keep_final_maps
+};
+
+/// Per-job pipeline knobs (ess::RunSpec vocabulary) — everything about HOW
+/// one job searches, as opposed to WHAT fire it predicts (the workload) and
+/// WHERE it runs (the engine). Campaigns stamp one spec on every job; a
+/// server derives one per request from its defaults plus overrides.
+struct JobSpec {
+  std::string method = "ess-ns";
+  int generations = 15;
+  double fitness_threshold = 0.95;
+  std::size_t population = 16;
+  std::size_t offspring = 16;
+  int novelty_k = 10;
+  int islands = 3;
+  std::size_t max_solution_maps = 64;
+  /// Scenario memoization policy (results bit-identical under every
+  /// policy). kShared uses the ENGINE's cache — the whole point of a
+  /// long-lived engine.
+  cache::CachePolicy cache_policy = cache::CachePolicy::kStep;
+  /// Retain the job's final probability matrix / predicted fire line.
+  bool keep_final_maps = false;
+};
+
+/// One unit of admission: which fire, under which seeds, how urgently.
+struct JobRequest {
+  /// Non-null. Shared (not copied) because campaign submissions alias into
+  /// the caller's workload vector; the caller keeps it alive until the
+  /// job's future resolves.
+  std::shared_ptr<const synth::Workload> workload;
+  std::size_t index = 0;          ///< global job index (seed + report field)
+  std::uint64_t campaign_seed = 2022;
+  /// Simulation workers for this job; 0 = the engine's default split
+  /// (total_workers / job_slots, min 1).
+  unsigned workers = 0;
+  /// Higher runs sooner; FIFO among equal priorities. Purely a scheduling
+  /// hint — results are bit-identical at any priority.
+  int priority = 0;
+  JobSpec spec;
+  /// Invoked with the finished record (after the engine-wide on_job_done,
+  /// both serialized on one lock) just before the future resolves — the
+  /// server's completion path.
+  std::function<void(const JobRecord&)> on_done;
+  /// Test hook: runs in the executing slot immediately before the pipeline
+  /// starts. Lets tests hold a slot busy deterministically (admission /
+  /// priority / cancellation tests). Never set in production paths.
+  std::function<void()> debug_before_run;
+};
+
+/// Run one prediction job synchronously on the calling thread: the pure
+/// function of (workload, campaign_seed, index, workers-independent spec)
+/// that every scheduled execution reproduces bit-for-bit. This is the
+/// oracle the serve tests and bench_serve compare scheduled results
+/// against. Job-level failures are recorded, not thrown.
+JobRecord run_prediction_job(
+    const synth::Workload& workload, std::size_t index,
+    std::uint64_t campaign_seed, unsigned workers, const JobSpec& spec,
+    simd::Mode simd_mode, parallel::NumaMode numa_mode,
+    const std::shared_ptr<cache::SharedScenarioCache>& shared_cache);
+
+struct EngineConfig {
+  unsigned job_slots = 1;     ///< prediction jobs in flight at once
+  unsigned total_workers = 1; ///< simulation-worker budget, split per slot
+  /// Pending jobs the queue holds beyond the ones already running; a
+  /// submission past this bound is answered kQueueFull, not blocked.
+  std::size_t queue_capacity = 64;
+  /// Byte budget of the engine's shared cache (ignored when `shared_cache`
+  /// is provided).
+  std::size_t cache_mem_bytes = cache::kDefaultCacheBytes;
+  /// Pre-warmed cache to adopt (e.g. restored via cache::load_cache); null
+  /// makes the engine create a fresh one.
+  std::shared_ptr<cache::SharedScenarioCache> shared_cache;
+  simd::Mode simd_mode = simd::Mode::kAuto;
+  parallel::NumaMode numa_mode = parallel::NumaMode::kAuto;
+  /// Chrome trace-event JSON output path ("" or "none" = tracing off);
+  /// written when the engine is destroyed.
+  std::string trace_out;
+  /// Metrics JSON output path ("" or "none" = no file). Written on
+  /// destruction.
+  std::string metrics_out;
+  /// Install a MetricsRegistry even without a metrics_out path — servers
+  /// scrape it live over the wire instead of reading a file.
+  bool collect_metrics = false;
+  /// Invoked once per finished job (success, failure or cancellation),
+  /// serialized by the engine, before any per-request on_done.
+  std::function<void(const JobRecord&)> on_job_done;
+};
+
+/// How submit() answered.
+enum class Admission {
+  kAccepted,      ///< queued; the future will resolve to one JobRecord
+  kQueueFull,     ///< bounded queue at capacity — back off and retry
+  kShuttingDown,  ///< the engine is being destroyed
+};
+
+const char* to_string(Admission admission);
+
+struct Submission {
+  Admission admission = Admission::kShuttingDown;
+  /// Valid iff admission == kAccepted.
+  std::future<JobRecord> record;
+};
+
+class PredictionEngine {
+ public:
+  explicit PredictionEngine(EngineConfig config);
+  /// Cancels still-pending jobs (their futures resolve to kFailed
+  /// "cancelled" records), waits for in-flight jobs, joins the slots, then
+  /// writes trace/metrics outputs.
+  ~PredictionEngine();
+
+  PredictionEngine(const PredictionEngine&) = delete;
+  PredictionEngine& operator=(const PredictionEngine&) = delete;
+
+  /// Admission-controlled, non-blocking. Throws InvalidArgument only for
+  /// malformed requests (null workload, unknown method, generations < 1) —
+  /// a full queue is a return value, not an exception.
+  Submission submit(JobRequest request);
+
+  /// Resolve every still-pending job as a kFailed record with `reason`
+  /// (callbacks and futures fire as usual). In-flight jobs are not touched.
+  /// Returns how many were cancelled.
+  std::size_t cancel_pending(const std::string& reason);
+
+  /// Block until the queue is empty and no job is in flight.
+  void drain();
+
+  std::size_t queue_depth() const;
+  std::size_t in_flight() const;
+
+  unsigned job_slots() const { return config_.job_slots; }
+  /// Workers granted to a request that does not pin its own count.
+  unsigned default_workers_per_job() const;
+  /// The engine-lifetime shared cache (never null).
+  const std::shared_ptr<cache::SharedScenarioCache>& shared_cache() const {
+    return cache_;
+  }
+  /// Live scrape of the engine's metrics registry ("{}" when metrics are
+  /// off). Pretty-printed (MetricsRegistry::json()); a wire frontend
+  /// flattens it (serve::compact_json) before shipping it as one line.
+  std::string metrics_json() const;
+  bool metrics_enabled() const { return obs_.metrics(); }
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    JobRequest request;
+    std::promise<JobRecord> promise;
+    std::uint64_t sequence = 0;
+  };
+
+  void slot_loop(unsigned slot);
+  void finish_job(Pending& pending, JobRecord record);
+  JobRecord cancelled_record(const JobRequest& request,
+                             const std::string& reason) const;
+
+  EngineConfig config_;
+  // Installed before and torn down after the pool: destruction order
+  // (reverse of declaration) joins the slots first, then writes outputs.
+  obs::ObsSession obs_;
+  std::shared_ptr<cache::SharedScenarioCache> cache_;
+
+  mutable std::mutex mutex_;             ///< guards the four fields below
+  std::condition_variable work_cv_;      ///< queue became non-empty / stopping
+  std::condition_variable idle_cv_;      ///< a job finished / queue emptied
+  std::vector<Pending> queue_;           ///< binary max-heap (priority, FIFO)
+  std::uint64_t next_sequence_ = 0;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+
+  std::mutex done_mutex_;  ///< serializes completion callbacks
+  parallel::ThreadPool pool_;
+  std::vector<std::future<void>> slots_;
+};
+
+}  // namespace essns::service

@@ -1,0 +1,46 @@
+#include "service/signals.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace essns::service {
+namespace {
+
+// Lock-free atomic flag: the only state a signal handler may touch.
+std::atomic<bool> g_drain{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "the drain flag must be async-signal-safe");
+
+extern "C" void drain_signal_handler(int) { g_drain.store(true); }
+
+}  // namespace
+
+bool drain_requested() { return g_drain.load(std::memory_order_relaxed); }
+
+void request_drain() { g_drain.store(true); }
+
+void reset_drain() { g_drain.store(false); }
+
+struct ScopedSignalDrain::Impl {
+  struct sigaction old_int;
+  struct sigaction old_term;
+};
+
+ScopedSignalDrain::ScopedSignalDrain() : impl_(new Impl{}) {
+  struct sigaction action {};
+  action.sa_handler = drain_signal_handler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: blocking syscalls (poll, read) should return EINTR so
+  // the owning loop notices the flag promptly.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, &impl_->old_int);
+  sigaction(SIGTERM, &action, &impl_->old_term);
+}
+
+ScopedSignalDrain::~ScopedSignalDrain() {
+  sigaction(SIGINT, &impl_->old_int, nullptr);
+  sigaction(SIGTERM, &impl_->old_term, nullptr);
+  delete impl_;
+}
+
+}  // namespace essns::service

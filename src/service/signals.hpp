@@ -1,0 +1,40 @@
+// Cooperative drain flag for graceful shutdown: SIGINT/SIGTERM set one
+// async-signal-safe flag, and the long-running loops that own work — the
+// PredictionEngine's job slots, the serve poll loop — check it between
+// units of work. In-flight jobs run to completion; queued jobs are disposed
+// of as failed "cancelled" records, so a campaign interrupted mid-run still
+// assembles every JobRecord and writes its reports/metrics instead of
+// losing everything to the default handler.
+#pragma once
+
+namespace essns::service {
+
+/// True once a drain has been requested (signal or explicit call). Sticky
+/// until reset_drain().
+bool drain_requested();
+
+/// Request a drain. Async-signal-safe (one lock-free atomic store), so it
+/// doubles as the SIGINT/SIGTERM handler body.
+void request_drain();
+
+/// Clear the flag — tests and multi-phase CLI runs that outlive a drain.
+void reset_drain();
+
+/// RAII SIGINT/SIGTERM installer: both signals call request_drain() while
+/// this object lives; the previous dispositions are restored on
+/// destruction. Install once near the top of a campaign/serve entry point
+/// (nesting is harmless but pointless — the flag is global).
+class ScopedSignalDrain {
+ public:
+  ScopedSignalDrain();
+  ~ScopedSignalDrain();
+
+  ScopedSignalDrain(const ScopedSignalDrain&) = delete;
+  ScopedSignalDrain& operator=(const ScopedSignalDrain&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace essns::service

@@ -29,25 +29,21 @@ std::vector<std::string> split_list(const std::string& value) {
 }
 
 TerrainFamily parse_terrain(const std::string& name) {
-  if (name == "plains") return TerrainFamily::kPlains;
-  if (name == "hills") return TerrainFamily::kHills;
-  if (name == "rugged") return TerrainFamily::kRugged;
-  throw InvalidArgument("unknown terrain family: " + name);
+  const auto family = parse_terrain_family(name);
+  if (!family) throw InvalidArgument("unknown terrain family: " + name);
+  return *family;
 }
 
 WeatherRegime parse_weather(const std::string& name) {
-  if (name == "steady") return WeatherRegime::kSteady;
-  if (name == "wind_shift") return WeatherRegime::kWindShift;
-  if (name == "diurnal") return WeatherRegime::kDiurnal;
-  throw InvalidArgument("unknown weather regime: " + name);
+  const auto regime = parse_weather_regime(name);
+  if (!regime) throw InvalidArgument("unknown weather regime: " + name);
+  return *regime;
 }
 
 IgnitionPattern parse_ignition(const std::string& name) {
-  if (name == "center") return IgnitionPattern::kCenter;
-  if (name == "offset") return IgnitionPattern::kOffset;
-  if (name == "edge") return IgnitionPattern::kEdge;
-  if (name == "corner") return IgnitionPattern::kCorner;
-  throw InvalidArgument("unknown ignition pattern: " + name);
+  const auto pattern = parse_ignition_pattern(name);
+  if (!pattern) throw InvalidArgument("unknown ignition pattern: " + name);
+  return *pattern;
 }
 
 void validate(const CatalogSpec& spec) {
@@ -77,6 +73,29 @@ Workload make_terrain(TerrainFamily family, int size, std::uint64_t seed) {
 }
 
 }  // namespace
+
+std::optional<TerrainFamily> parse_terrain_family(const std::string& name) {
+  if (name == "plains") return TerrainFamily::kPlains;
+  if (name == "hills") return TerrainFamily::kHills;
+  if (name == "rugged") return TerrainFamily::kRugged;
+  return std::nullopt;
+}
+
+std::optional<WeatherRegime> parse_weather_regime(const std::string& name) {
+  if (name == "steady") return WeatherRegime::kSteady;
+  if (name == "wind_shift") return WeatherRegime::kWindShift;
+  if (name == "diurnal") return WeatherRegime::kDiurnal;
+  return std::nullopt;
+}
+
+std::optional<IgnitionPattern> parse_ignition_pattern(
+    const std::string& name) {
+  if (name == "center") return IgnitionPattern::kCenter;
+  if (name == "offset") return IgnitionPattern::kOffset;
+  if (name == "edge") return IgnitionPattern::kEdge;
+  if (name == "corner") return IgnitionPattern::kCorner;
+  return std::nullopt;
+}
 
 const char* to_string(TerrainFamily family) {
   switch (family) {
@@ -122,6 +141,56 @@ CellIndex ignition_cell(IgnitionPattern pattern, int size) {
   throw InvalidArgument("unknown ignition pattern enumerator");
 }
 
+Workload make_workload(const WorkloadRequest& request) {
+  ESSNS_REQUIRE(request.size >= 16, "workload map size must be >= 16 cells");
+  ESSNS_REQUIRE(request.steps >= 2,
+                "workload steps >= 2 (pipeline needs calibration + "
+                "prediction)");
+  ESSNS_REQUIRE(request.step_minutes > 0.0, "step_minutes must be positive");
+  ESSNS_REQUIRE(
+      request.observation_noise >= 0.0 && request.observation_noise < 1.0,
+      "observation noise in [0,1)");
+
+  Workload workload =
+      make_terrain(request.terrain, request.size, request.seed);
+  GroundTruthConfig cfg = workload.truth_config;
+  cfg.steps = request.steps;
+  cfg.step_minutes = request.step_minutes;
+  cfg.observation_noise = request.observation_noise;
+  cfg.ignition = ignition_cell(request.ignition, request.size);
+  cfg.drift_sigma = 0.0;
+
+  switch (request.weather) {
+    case WeatherRegime::kSteady:
+      break;
+    case WeatherRegime::kWindShift:
+      cfg.drift_sigma = 0.08;
+      break;
+    case WeatherRegime::kDiurnal: {
+      // Damp the morning moistures (as make_diurnal does) so the
+      // fire survives into the afternoon wind peak.
+      cfg.hidden.m1 = std::max(cfg.hidden.m1, 14.0);
+      cfg.hidden.m10 = std::max(cfg.hidden.m10, 15.0);
+      cfg.hidden.m100 = std::max(cfg.hidden.m100, 16.0);
+      DiurnalWeatherConfig weather;
+      weather.wind_base_mph = 5.0;
+      weather.wind_diurnal_mph = 4.0;
+      Rng weather_rng(combine_seed(request.seed, 0xd1u));
+      workload.scenario_sequence =
+          diurnal_scenarios(weather, cfg.hidden, /*start_hour=*/10.0,
+                            cfg.step_minutes, cfg.steps, weather_rng);
+      break;
+    }
+  }
+
+  workload.truth_config = cfg;
+  workload.name = std::string(to_string(request.terrain)) +
+                  std::to_string(request.size) + "-" +
+                  to_string(request.weather) + "-" +
+                  to_string(request.ignition);
+  return workload;
+}
+
 std::vector<Workload> generate_catalog(const CatalogSpec& spec) {
   validate(spec);
 
@@ -145,47 +214,18 @@ std::vector<Workload> generate_catalog(const CatalogSpec& spec) {
             seed = combine_seed(seed, ii);
             seed = combine_seed(seed, static_cast<std::uint64_t>(rep));
 
-            const TerrainFamily terrain = spec.terrains[ti];
-            const int size = spec.sizes[si];
-            const WeatherRegime regime = spec.weather[wi];
-            const IgnitionPattern pattern = spec.ignitions[ii];
+            WorkloadRequest request;
+            request.terrain = spec.terrains[ti];
+            request.size = spec.sizes[si];
+            request.weather = spec.weather[wi];
+            request.ignition = spec.ignitions[ii];
+            request.seed = seed;
+            request.steps = spec.steps;
+            request.step_minutes = spec.step_minutes;
+            request.observation_noise = spec.observation_noise;
 
-            Workload workload = make_terrain(terrain, size, seed);
-            GroundTruthConfig cfg = workload.truth_config;
-            cfg.steps = spec.steps;
-            cfg.step_minutes = spec.step_minutes;
-            cfg.observation_noise = spec.observation_noise;
-            cfg.ignition = ignition_cell(pattern, size);
-            cfg.drift_sigma = 0.0;
-
-            switch (regime) {
-              case WeatherRegime::kSteady:
-                break;
-              case WeatherRegime::kWindShift:
-                cfg.drift_sigma = 0.08;
-                break;
-              case WeatherRegime::kDiurnal: {
-                // Damp the morning moistures (as make_diurnal does) so the
-                // fire survives into the afternoon wind peak.
-                cfg.hidden.m1 = std::max(cfg.hidden.m1, 14.0);
-                cfg.hidden.m10 = std::max(cfg.hidden.m10, 15.0);
-                cfg.hidden.m100 = std::max(cfg.hidden.m100, 16.0);
-                DiurnalWeatherConfig weather;
-                weather.wind_base_mph = 5.0;
-                weather.wind_diurnal_mph = 4.0;
-                Rng weather_rng(combine_seed(seed, 0xd1u));
-                workload.scenario_sequence =
-                    diurnal_scenarios(weather, cfg.hidden, /*start_hour=*/10.0,
-                                      cfg.step_minutes, cfg.steps, weather_rng);
-                break;
-              }
-            }
-
-            workload.truth_config = cfg;
-            workload.name = std::string(to_string(terrain)) +
-                            std::to_string(size) + "-" + to_string(regime) +
-                            "-" + to_string(pattern) + "-s" +
-                            std::to_string(rep);
+            Workload workload = make_workload(request);
+            workload.name += "-s" + std::to_string(rep);
             out.push_back(std::move(workload));
           }
         }

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,37 @@ enum class IgnitionPattern { kCenter, kOffset, kEdge, kCorner };
 const char* to_string(TerrainFamily family);
 const char* to_string(WeatherRegime regime);
 const char* to_string(IgnitionPattern pattern);
+
+/// Inverse of to_string(); empty optional on an unknown name. The serve
+/// request parser and the catalog spec parser share these, so a fire
+/// described over the wire names exactly the same enumerators a catalog
+/// file would.
+std::optional<TerrainFamily> parse_terrain_family(const std::string& name);
+std::optional<WeatherRegime> parse_weather_regime(const std::string& name);
+std::optional<IgnitionPattern> parse_ignition_pattern(const std::string& name);
+
+/// One catalog cell, addressed directly: everything that determines a
+/// single fire. make_workload(request) is the pure function both
+/// generate_catalog() (which derives `seed` by chaining the spec's
+/// base_seed through the cell's dimension indices) and the serve frontend
+/// (which takes the seed straight off the request) evaluate — so a fire
+/// predicted over the wire is bit-identical to the same cell of a catalog
+/// campaign.
+struct WorkloadRequest {
+  TerrainFamily terrain = TerrainFamily::kPlains;
+  int size = 32;                 ///< grid edge, >= 16
+  WeatherRegime weather = WeatherRegime::kSteady;
+  IgnitionPattern ignition = IgnitionPattern::kCenter;
+  std::uint64_t seed = 2022;     ///< the workload seed (terrain + truth)
+  int steps = 4;                 ///< ground-truth instants t_1..t_steps (>= 2)
+  double step_minutes = 45.0;
+  double observation_noise = 0.02;
+};
+
+/// Build the workload for one cell. Deterministic in `request`; the name is
+/// "<terrain><size>-<weather>-<ignition>" (generate_catalog appends its
+/// replicate suffix). Throws InvalidArgument on out-of-range fields.
+Workload make_workload(const WorkloadRequest& request);
 
 /// Compact description of a workload family; see generate_catalog().
 struct CatalogSpec {

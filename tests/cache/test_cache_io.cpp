@@ -1,0 +1,216 @@
+#include "cache/cache_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.hpp"
+#include "common/error.hpp"
+#include "service/campaign.hpp"
+#include "synth/catalog.hpp"
+
+namespace essns::cache {
+namespace {
+
+/// Synthetic but structurally complete entries: distinct keys, a map on
+/// most of them, a mix of fitness-record counts, distinct costs.
+void fill_cache(SharedScenarioCache& cache, std::size_t entries,
+                int map_edge = 4) {
+  for (std::size_t i = 0; i < entries; ++i) {
+    ScenarioKey key;
+    key.context = 0x1000 + i;
+    for (std::size_t p = 0; p < key.params.size(); ++p)
+      key.params[p] = i * 131 + p;
+
+    CachedScenario value;
+    if (i % 4 != 3) {  // leave some entries fitness-only
+      firelib::IgnitionMap map(map_edge, map_edge);
+      double cell = static_cast<double>(i);
+      for (double& c : map) c = (cell += 0.25);
+      value.map = std::move(map);
+    }
+    for (std::size_t f = 0; f < i % 3; ++f) {
+      FitnessRecord record;
+      record.target_fingerprint = 0xbeef00 + i;
+      record.start_time_bits = f;
+      record.fitness = 0.5 + static_cast<double>(f);
+      value.fitnesses.push_back(record);
+    }
+    cache.insert(key, std::move(value), 0.001 * static_cast<double>(i + 1));
+  }
+}
+
+std::string serialize(const SharedScenarioCache& cache) {
+  std::ostringstream out(std::ios::binary);
+  save_cache(cache, out);
+  return out.str();
+}
+
+RestoreStats deserialize(SharedScenarioCache& cache, const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return load_cache(cache, in);
+}
+
+TEST(CacheIo, RoundTripIsByteExact) {
+  SharedScenarioCache original(8 << 20);
+  fill_cache(original, 13);
+  const std::string snapshot = serialize(original);
+
+  SharedScenarioCache restored(8 << 20);
+  const RestoreStats stats = deserialize(restored, snapshot);
+  EXPECT_EQ(stats.entries_in_file, 13u);
+  EXPECT_EQ(stats.restored, 13u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(restored.stats().entries, original.stats().entries);
+  EXPECT_EQ(restored.stats().bytes, original.stats().bytes);
+
+  // Strongest equality: re-serializing the restored cache reproduces the
+  // snapshot byte for byte (same shard assignment, same recency order, same
+  // map cells, costs and fitness records).
+  EXPECT_EQ(serialize(restored), snapshot);
+}
+
+TEST(CacheIo, EmptyCacheRoundTrips) {
+  SharedScenarioCache original(1 << 20);
+  const std::string snapshot = serialize(original);
+  SharedScenarioCache restored(1 << 20);
+  const RestoreStats stats = deserialize(restored, snapshot);
+  EXPECT_EQ(stats.entries_in_file, 0u);
+  EXPECT_EQ(restored.stats().entries, 0u);
+}
+
+TEST(CacheIo, RestoreReAccountsAgainstSmallerBudget) {
+  SharedScenarioCache big(64 << 20);
+  fill_cache(big, 64, /*map_edge=*/48);  // ~18 KiB per map entry
+  const std::size_t saved_entries = big.stats().entries;
+  ASSERT_EQ(saved_entries, 64u);
+  const std::string snapshot = serialize(big);
+
+  // A budget far below the snapshot's total bytes: restore must evict or
+  // reject down to the smaller budget, never exceed it.
+  const std::size_t small_budget = big.stats().bytes / 4;
+  SharedScenarioCache small(small_budget);
+  const RestoreStats stats = deserialize(small, snapshot);
+  EXPECT_EQ(stats.entries_in_file, saved_entries);
+  EXPECT_EQ(stats.restored + stats.rejected, saved_entries);
+  EXPECT_GT(stats.evictions + stats.rejected, 0u)
+      << "a 4x smaller budget must push something out";
+  EXPECT_LE(small.stats().bytes, small_budget);
+  EXPECT_LT(small.stats().entries, saved_entries);
+}
+
+TEST(CacheIo, EveryTruncationIsRejected) {
+  SharedScenarioCache original(1 << 20);
+  fill_cache(original, 3);
+  const std::string snapshot = serialize(original);
+  ASSERT_GT(snapshot.size(), 8u);
+
+  for (std::size_t len = 0; len < snapshot.size(); ++len) {
+    SharedScenarioCache target(1 << 20);
+    EXPECT_THROW(deserialize(target, snapshot.substr(0, len)), WireError)
+        << "truncation to " << len << " bytes must not load";
+  }
+  // And the untruncated snapshot still loads.
+  SharedScenarioCache target(1 << 20);
+  EXPECT_EQ(deserialize(target, snapshot).restored, 3u);
+}
+
+TEST(CacheIo, EverySingleBitFlipIsRejected) {
+  SharedScenarioCache original(1 << 20);
+  fill_cache(original, 2);
+  const std::string snapshot = serialize(original);
+
+  for (std::size_t offset = 0; offset < snapshot.size(); ++offset) {
+    for (int bit = 0; bit < 8; bit += 7) {  // lowest and highest bit
+      std::string corrupted = snapshot;
+      corrupted[offset] = static_cast<char>(
+          static_cast<unsigned char>(corrupted[offset]) ^ (1u << bit));
+      SharedScenarioCache target(1 << 20);
+      EXPECT_THROW(deserialize(target, corrupted), WireError)
+          << "bit " << bit << " of byte " << offset
+          << " flipped must not load";
+    }
+  }
+}
+
+TEST(CacheIo, TrailingGarbageAfterEndFrameIsRejected) {
+  SharedScenarioCache original(1 << 20);
+  fill_cache(original, 2);
+  std::string snapshot = serialize(original);
+  snapshot += '\0';
+  SharedScenarioCache target(1 << 20);
+  EXPECT_THROW(deserialize(target, snapshot), WireError);
+}
+
+TEST(CacheIo, MissingFileThrowsIoError) {
+  SharedScenarioCache target(1 << 20);
+  EXPECT_THROW(load_cache(target, "/nonexistent/cache.snapshot"), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// The property the snapshot exists for: a campaign rerun against a RESTORED
+// cache runs entirely warm and produces bit-identical results.
+// ---------------------------------------------------------------------------
+
+TEST(CacheIo, RestoredCacheServesCampaignWarmAndBitIdentical) {
+  synth::CatalogSpec catalog;
+  catalog.terrains = {synth::TerrainFamily::kPlains};
+  catalog.sizes = {16};
+  catalog.weather = {synth::WeatherRegime::kSteady};
+  catalog.ignitions = {synth::IgnitionPattern::kCenter,
+                       synth::IgnitionPattern::kOffset};
+  catalog.steps = 3;
+  catalog.base_seed = 11;
+  const auto workloads = synth::generate_catalog(catalog);
+
+  service::CampaignConfig config;
+  config.generations = 3;
+  config.population = 8;
+  config.offspring = 8;
+  config.seed = 77;
+  config.cache_policy = CachePolicy::kShared;
+
+  config.shared_cache = std::make_shared<SharedScenarioCache>();
+  const service::CampaignResult cold =
+      service::CampaignScheduler(config).run(workloads);
+  ASSERT_EQ(cold.succeeded(), workloads.size());
+  const std::string snapshot = serialize(*config.shared_cache);
+
+  // "Restart": a brand-new cache, warmed only from the snapshot bytes.
+  config.shared_cache = std::make_shared<SharedScenarioCache>();
+  const RestoreStats restored = deserialize(*config.shared_cache, snapshot);
+  EXPECT_GT(restored.restored, 0u);
+  EXPECT_EQ(restored.rejected, 0u);
+
+  const std::size_t misses_before = config.shared_cache->stats().misses;
+  const service::CampaignResult warm =
+      service::CampaignScheduler(config).run(workloads);
+  ASSERT_EQ(warm.succeeded(), workloads.size());
+
+  const CacheStats after = config.shared_cache->stats();
+  EXPECT_EQ(after.misses, misses_before)
+      << "a restored cache must serve the identical campaign without a "
+         "single recomputation";
+  EXPECT_GT(after.hits, 0u);
+
+  ASSERT_EQ(cold.jobs.size(), warm.jobs.size());
+  for (std::size_t i = 0; i < cold.jobs.size(); ++i) {
+    const service::JobRecord& a = cold.jobs[i];
+    const service::JobRecord& b = warm.jobs[i];
+    EXPECT_EQ(a.seed, b.seed);
+    ASSERT_EQ(a.result.steps.size(), b.result.steps.size());
+    for (std::size_t s = 0; s < a.result.steps.size(); ++s) {
+      EXPECT_EQ(a.result.steps[s].kign, b.result.steps[s].kign);
+      EXPECT_EQ(a.result.steps[s].calibration_fitness,
+                b.result.steps[s].calibration_fitness);
+      EXPECT_EQ(a.result.steps[s].prediction_quality,
+                b.result.steps[s].prediction_quality);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace essns::cache
