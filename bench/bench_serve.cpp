@@ -97,7 +97,7 @@ std::string oracle_response(const std::string& id, serve::Verb verb,
   spec.cache_policy = cache::CachePolicy::kOff;
   const service::JobRecord record = service::run_prediction_job(
       workload, /*index=*/0, config.seed, workers, spec, config.simd_mode,
-      config.numa_mode, nullptr);
+      config.numa_mode, config.backend, nullptr);
   return serve::format_job_response(id, verb, record);
 }
 

@@ -112,6 +112,13 @@ RunSpec parse_run_spec(std::istream& in) {
             "config key 'numa' expects off|auto|on, got: " + value);
       spec.numa_mode = *mode;
     }
+    else if (key == "backend") {
+      const auto backend = firelib::parse_sweep_backend(value);
+      if (!backend)
+        throw InvalidArgument(
+            "config key 'backend' expects scalar|batched, got: " + value);
+      spec.backend = *backend;
+    }
     else if (key == "trace")
       spec.trace_out = value == "none" ? "" : value;
     else if (key == "metrics_out")
@@ -222,6 +229,7 @@ PipelineResult run_spec(const RunSpec& spec) {
   config.cache_mem_bytes = spec.cache_mem_mb << 20;
   config.simd_mode = spec.simd_mode;
   config.numa_mode = spec.numa_mode;
+  config.backend = spec.backend;
   PredictionPipeline pipeline(workload.environment, truth, config);
   auto optimizer = make_optimizer(spec);
   PipelineResult result = pipeline.run(*optimizer, rng);

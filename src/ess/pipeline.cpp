@@ -53,6 +53,12 @@ std::size_t PipelineResult::total_cache_insertions_rejected() const {
   return sum;
 }
 
+std::size_t PipelineResult::total_batch_dedup_hits() const {
+  std::size_t sum = 0;
+  for (const auto& s : steps) sum += s.batch_dedup_hits;
+  return sum;
+}
+
 std::size_t PipelineResult::max_cache_bytes() const {
   std::size_t peak = 0;
   for (const auto& s : steps) peak = std::max(peak, s.cache_bytes);
@@ -84,6 +90,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
   ScenarioEvaluator evaluator(*env_, config_.workers);
   evaluator.set_simd_mode(config_.simd_mode);
   evaluator.set_numa_mode(config_.numa_mode);
+  evaluator.set_backend(config_.backend);
   evaluator.set_cache_policy(config_.cache_policy);
   if (config_.cache_policy == cache::CachePolicy::kShared) {
     evaluator.set_cache_mem_bytes(config_.cache_mem_bytes);
@@ -103,6 +110,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
     const std::size_t cache_evictions_before = evaluator.cache_evictions();
     const std::size_t cache_rejected_before =
         evaluator.cache_insertions_rejected();
+    const std::size_t dedup_before = evaluator.batch_dedup_hits();
     std::size_t cache_peak_entries = 0;
     std::size_t cache_peak_bytes = 0;
     // Sampled after every simulating stage: the step cache is wiped by the
@@ -197,6 +205,7 @@ PipelineResult PredictionPipeline::run(Optimizer& optimizer, Rng& rng) {
         evaluator.cache_insertions_rejected() - cache_rejected_before;
     report.cache_entries = cache_peak_entries;
     report.cache_bytes = cache_peak_bytes;
+    report.batch_dedup_hits = evaluator.batch_dedup_hits() - dedup_before;
     if (obs::metrics_enabled()) {
       obs::record_histogram("pipeline.os_seconds", os_seconds);
       obs::record_histogram("pipeline.ss_seconds", ss_seconds);

@@ -52,6 +52,9 @@ struct PipelineConfig {
   simd::Mode simd_mode = simd::Mode::kAuto;
   /// NUMA-aware worker placement (kAuto pins only on multi-node hosts).
   parallel::NumaMode numa_mode = parallel::NumaMode::kAuto;
+  /// Sweep backend: kBatched runs homogeneous simulation batches as one
+  /// BatchSweep launch (bit-identical at any setting).
+  firelib::SweepBackend backend = firelib::SweepBackend::kScalar;
 };
 
 /// One predicted step (predicting t_{step} from data through t_{step-1}).
@@ -87,6 +90,9 @@ struct StepReport {
   std::size_t cache_insertions_rejected = 0;
   std::size_t cache_entries = 0;
   std::size_t cache_bytes = 0;
+  /// In-batch duplicate scenarios collapsed before reaching the sweep
+  /// engine (a subset of cache_hits; per-step delta, backend-independent).
+  std::size_t batch_dedup_hits = 0;
 };
 
 struct PipelineResult {
@@ -100,6 +106,7 @@ struct PipelineResult {
   std::size_t total_cache_misses() const;
   std::size_t total_cache_evictions() const;
   std::size_t total_cache_insertions_rejected() const;
+  std::size_t total_batch_dedup_hits() const;
   /// Peak cache footprint seen by this pipeline (max of the per-stage
   /// samples over all steps; under the shared policy this is the whole —
   /// possibly cross-job — cache, so do not sum it across jobs).

@@ -170,11 +170,72 @@ SimulationResult SimulationService::run_one(unsigned worker_id,
 
 std::vector<SimulationResult> SimulationService::run_batch_uncached(
     const std::vector<const SimulationRequest*>& requests) {
+  if (obs::metrics_enabled() && !requests.empty())
+    obs::record_histogram("sweep.batch_size",
+                          static_cast<double>(requests.size()));
+  if (backend_ == firelib::SweepBackend::kBatched && !requests.empty() &&
+      !propagator_.reference_sweep()) {
+    // The batch engine needs one (start map, horizon) per launch — exactly
+    // what the cache paths and the fitness/map batch builders produce.
+    // Targets and start times may differ per request (scoring is
+    // per-request, after the launch).
+    const SimulationRequest& first = *requests.front();
+    bool launchable = true;
+    for (const SimulationRequest* req : requests)
+      if (req->start != first.start || req->end_time != first.end_time)
+        launchable = false;
+    if (launchable) return run_batch_batched(requests);
+  }
   if (pool_) return pool_->evaluate(requests);
   std::vector<SimulationResult> results;
   results.reserve(requests.size());
   for (const SimulationRequest* req : requests)
     results.push_back(run_one(0, *req));
+  return results;
+}
+
+std::vector<SimulationResult> SimulationService::run_batch_batched(
+    const std::vector<const SimulationRequest*>& requests) {
+  // One launch on the calling thread — the GPU-shaped execution model the
+  // backend enum is the on-ramp for (a device backend submits here too).
+  place_worker(0);
+  if (!batch_engine_)
+    batch_engine_ = std::make_unique<firelib::BatchSweep>(spread_model_);
+  batch_engine_->set_simd_mode(propagator_.simd_mode());
+
+  obs::SpanTimer batch_timer("sim.batch");
+  std::vector<const firelib::Scenario*> scenarios;
+  scenarios.reserve(requests.size());
+  for (const SimulationRequest* req : requests)
+    scenarios.push_back(req->scenario);
+  const SimulationRequest& first = *requests.front();
+  std::vector<firelib::IgnitionMap> maps =
+      batch_engine_->sweep(*env_, scenarios, *first.start, first.end_time);
+  const double batch_seconds = batch_timer.stop();
+  // Cost attribution for the shared cache's eviction weighting: the launch
+  // is one unit of work, split evenly (a perf heuristic, not a result).
+  const double per_sim_seconds =
+      batch_seconds / static_cast<double>(requests.size());
+  simulations_.fetch_add(requests.size(), std::memory_order_relaxed);
+
+  std::vector<SimulationResult> results(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const SimulationRequest& req = *requests[i];
+    if (req.target) {
+      results[i].fitness =
+          reference_fitness_
+              ? jaccard_at_reference(*req.target, maps[i], req.end_time,
+                                     req.start_time)
+              : jaccard_at(*req.target, maps[i], req.end_time, req.start_time);
+    }
+    if (req.keep_map) results[i].map = std::move(maps[i]);
+    results[i].sim_seconds = per_sim_seconds;
+  }
+  if (obs::metrics_enabled()) {
+    obs::add_counter("sim.count", requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      obs::record_histogram("sim.seconds", per_sim_seconds);
+  }
   return results;
 }
 
@@ -215,6 +276,7 @@ std::vector<SimulationResult> SimulationService::run_batch_step(
   const std::size_t hits_before = cache_hits_;
   const std::size_t misses_before = cache_misses_;
   const std::size_t rejected_before = cache_insertions_rejected_;
+  const std::size_t dedup_before = batch_dedup_hits_;
   const SimulationRequest& first = requests.front();
   CacheContext context;
   context.start = first.start;
@@ -264,6 +326,7 @@ std::vector<SimulationResult> SimulationService::run_batch_step(
       // A duplicate widens the scheduled request rather than re-simulating.
       scheduled[it->second].keep_map |= req.keep_map;
       ++cache_hits_;
+      ++batch_dedup_hits_;
     }
     slot_of[i] = it->second;
   }
@@ -300,6 +363,8 @@ std::vector<SimulationResult> SimulationService::run_batch_step(
     obs::add_counter("cache.misses", cache_misses_ - misses_before);
     obs::add_counter("cache.insertions_rejected",
                      cache_insertions_rejected_ - rejected_before);
+    obs::add_counter("sweep.batch_dedup_hits",
+                     batch_dedup_hits_ - dedup_before);
   }
   return results;
 }
@@ -333,6 +398,7 @@ std::vector<SimulationResult> SimulationService::run_batch_shared(
   std::vector<cache::ScenarioKey> scheduled_keys;
   std::unordered_map<cache::ScenarioKey, std::size_t, cache::ScenarioKeyHash>
       in_batch;
+  const std::size_t dedup_before = batch_dedup_hits_;
   // Mirrors run_batch_step's scheduling skeleton on purpose: the step path
   // is frozen bit-for-bit, so the two evolve independently.
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -345,6 +411,7 @@ std::vector<SimulationResult> SimulationService::run_batch_shared(
     // duplicate-heavy batches the cache targets).
     if (const auto dup = in_batch.find(key); dup != in_batch.end()) {
       ++cache_hits_;
+      ++batch_dedup_hits_;
       slot_of[i] = dup->second;
       continue;
     }
@@ -414,6 +481,12 @@ std::vector<SimulationResult> SimulationService::run_batch_shared(
     cache_evictions_ += outcome.evictions;
     if (outcome.rejected) ++cache_insertions_rejected_;
   }
+  // The shared cache's own shards feed the cache.* registry counts; the
+  // in-batch dedup happens before the cache is touched, so flush it here
+  // (once per batch, master thread).
+  if (obs::metrics_enabled())
+    obs::add_counter("sweep.batch_dedup_hits",
+                     batch_dedup_hits_ - dedup_before);
   return results;
 }
 

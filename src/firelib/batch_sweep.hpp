@@ -1,0 +1,131 @@
+// Batched multi-scenario sweep backend (`--backend scalar|batched`): evaluate
+// a whole simulate_batch of scenarios in ONE pass instead of N independent
+// sweeps.
+//
+// The OS stage evaluates hundreds of scenarios per GA generation, and every
+// per-scenario sweep repeats work the batch shares: each one rebuilds its
+// 14x8 travel-time table and walks its own workspace slabs. BatchSweep
+//  (a) groups the batch's scenarios by travel-time-table identity (the eight
+//      non-model Table-I params, raw bit patterns) and builds each table ONCE
+//      per batch group — the fuel model only selects a row;
+//  (b) lays out per-scenario hot state (arrival times, epochs, bucket chains)
+//      as contiguous per-scenario stripes inside one arena-allocated
+//      64-byte-aligned super-slab; and
+//  (c) drains the dial buckets of all scenarios in scenario-major wavefronts
+//      with the existing relax8 kernel applied per scenario in deterministic
+//      order.
+//
+// Determinism contract: scenarios are data-independent, and the dial drain
+// visits non-empty buckets in strictly ascending index (pushes from draining
+// bucket b only land in buckets >= b), so the lock-step schedule reproduces
+// each scenario's exact scalar pop/push sequence — every arrival map, push
+// order and fitness bit is identical to the per-scenario path
+// (property-tested, the standing discipline). Inputs the batched drain does
+// not cover (DEM terrains, oversized maps, entry-arena spills) fall back to
+// the retained scalar propagator per scenario, which is a pure function of
+// the same inputs, so the contract holds on every input.
+//
+// This is deliberately GPU-shaped: the grouped-table + per-scenario-stripe
+// layout is exactly what a one-scenario-per-block CUDA kernel consumes, so
+// SweepBackend grows `gpu` later without re-plumbing the seam.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/simd.hpp"
+#include "firelib/environment.hpp"
+#include "firelib/propagator.hpp"
+#include "firelib/rothermel.hpp"
+#include "firelib/scenario.hpp"
+
+namespace essns::firelib {
+
+/// The user-facing sweep-backend knob (`--backend scalar|batched`), plumbed
+/// like `--simd`/`--numa`. kScalar runs every simulation as an independent
+/// per-scenario sweep (the retained oracle); kBatched routes homogeneous
+/// simulation batches through BatchSweep. Results are bit-identical either
+/// way — the knob trades nothing but CPU time.
+enum class SweepBackend { kScalar, kBatched };
+
+inline const char* to_string(SweepBackend backend) {
+  return backend == SweepBackend::kBatched ? "batched" : "scalar";
+}
+
+inline std::optional<SweepBackend> parse_sweep_backend(
+    const std::string& text) {
+  if (text == "scalar") return SweepBackend::kScalar;
+  if (text == "batched") return SweepBackend::kBatched;
+  return std::nullopt;
+}
+
+class BatchSweep {
+ public:
+  explicit BatchSweep(const FireSpreadModel& model);
+  ~BatchSweep();
+
+  BatchSweep(const BatchSweep&) = delete;
+  BatchSweep& operator=(const BatchSweep&) = delete;
+
+  /// Relax-kernel dispatch, same contract as FirePropagator::set_simd_mode.
+  void set_simd_mode(simd::Mode mode);
+  simd::Mode simd_mode() const { return simd_mode_; }
+  simd::Isa simd_isa() const { return simd_isa_; }
+
+  /// Test hook: cap each scenario's dial-entry stripe at `entries` (0
+  /// restores the default sizing) to force the spill fallback.
+  void set_debug_entry_capacity(std::size_t entries) {
+    debug_entry_capacity_ = entries;
+  }
+
+  /// Sweep every scenario from `start` (finite cells are sources with their
+  /// recorded times) to `horizon_min`. Returns one ignition map per
+  /// scenario, in scenario order, each bit-identical to
+  /// FirePropagator::propagate(env, scenario, start, horizon_min).
+  std::vector<IgnitionMap> sweep(const FireEnvironment& env,
+                                 const std::vector<const Scenario*>& scenarios,
+                                 const IgnitionMap& start, double horizon_min);
+
+  /// Facts about the last sweep() call, for tests and bench_sweep.
+  std::size_t last_table_groups() const { return last_table_groups_; }
+  std::size_t last_table_rows_built() const { return last_table_rows_built_; }
+  std::size_t last_batched() const { return last_batched_; }
+  std::size_t last_fallbacks() const { return last_fallbacks_; }
+
+ private:
+  struct GroupTable;
+
+  const FireSpreadModel* model_;
+  /// Per-scenario fallback path (DEM terrains, oversized maps, entry-arena
+  /// spills): the retained scalar propagator, bit-identical by construction.
+  FirePropagator scalar_;
+  PropagationWorkspace fallback_workspace_;
+  simd::Mode simd_mode_ = simd::Mode::kAuto;
+  simd::Isa simd_isa_ = simd::resolve(simd::Mode::kAuto);
+  /// The super-slab: every lane's stripe lives here, 64-byte aligned.
+  AlignedVector<std::uint8_t> arena_;
+  /// lane_clean_[l]: slot l's chain heads are all nil and occupancy words
+  /// all zero — the state a completed drain leaves behind — so the next
+  /// launch with the same stripe layout skips re-initializing them (the
+  /// same trick DialSweepQueue plays with its dirty flag). A spilled lane
+  /// abandons its queue mid-drain and stays dirty.
+  std::vector<std::uint8_t> lane_clean_;
+  /// Stripe geometry the arena is currently carved for; a mismatch
+  /// invalidates every lane_clean_ entry.
+  std::size_t carved_stripe_bytes_ = 0;
+  std::size_t carved_cells_ = 0;
+  std::size_t carved_buckets_ = 0;
+  std::vector<std::unique_ptr<GroupTable>> groups_;
+  std::size_t debug_entry_capacity_ = 0;
+  std::size_t last_table_groups_ = 0;
+  std::size_t last_table_rows_built_ = 0;
+  std::size_t last_batched_ = 0;
+  std::size_t last_fallbacks_ = 0;
+};
+
+}  // namespace essns::firelib

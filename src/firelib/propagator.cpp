@@ -1,6 +1,7 @@
 #include "firelib/propagator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <utility>
@@ -25,7 +26,27 @@ struct SweepCounters {
   std::uint64_t pushes = 0;
   std::uint64_t stale_pops = 0;
   std::uint64_t bucket_redrains = 0;
+  /// Travel-time table rows actually (re)built by the uniform fast path —
+  /// zero on a warm repeat-scenario sweep thanks to the workspace memo.
+  std::uint64_t tt_rows_built = 0;
 };
+
+/// The exact Table-I inputs the uniform travel-time table is a function of:
+/// raw bit patterns of the eight non-model params plus the cell size. The
+/// fuel model is NOT part of the key — it selects a row, and rows stay
+/// lazily built per model under the memo exactly as within one sweep.
+std::array<std::uint64_t, 9> travel_table_key(const Scenario& s,
+                                              double cell_ft) {
+  return {std::bit_cast<std::uint64_t>(s.wind_speed),
+          std::bit_cast<std::uint64_t>(s.wind_dir),
+          std::bit_cast<std::uint64_t>(s.m1),
+          std::bit_cast<std::uint64_t>(s.m10),
+          std::bit_cast<std::uint64_t>(s.m100),
+          std::bit_cast<std::uint64_t>(s.mherb),
+          std::bit_cast<std::uint64_t>(s.slope),
+          std::bit_cast<std::uint64_t>(s.aspect),
+          std::bit_cast<std::uint64_t>(cell_ft)};
+}
 
 // Azimuth (degrees clockwise from north) from a cell toward neighbour k of
 // kEightNeighbours, with row 0 being the north edge.
@@ -431,7 +452,10 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
   if (reference_sweep_) {
     // Pre-optimization inner loop: fire behavior and elliptical spread-rate
     // trig evaluated per popped cell. Kept as the bit-identical oracle the
-    // fast paths are tested and benchmarked against.
+    // fast paths are tested and benchmarked against. It fills by_model_
+    // without travel_time_, so the uniform fast path's travel-time memo must
+    // not trust ready flags left by a reference sweep.
+    workspace.tt_valid_ = false;
     workspace.by_model_ready_.fill(false);
     auto behavior_at = [&](int r, int c) -> FireBehavior {
       const int cell_fuel = env.fuel_model_at(r, c, scenario);
@@ -480,7 +504,21 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
     // once per sweep and the inner loop is pure table lookups —
     // arrival = top.time + travel_time[fuel][k]. A direction the model does
     // not spread toward holds kNeverIgnited, which no finite horizon admits.
-    workspace.by_model_ready_.fill(false);
+    //
+    // The rows are memoized across sweeps: they are a pure function of the
+    // eight non-model Table-I params, the cell size and the spread model, so
+    // when those match the previous uniform sweep through this workspace
+    // (bit for bit), every row built then is still valid and the ready flags
+    // survive — repeated same-scenario sweeps skip the rebuild entirely.
+    const std::array<std::uint64_t, 9> tt_key =
+        travel_table_key(scenario, cell_ft);
+    if (!workspace.tt_valid_ || workspace.tt_key_ != tt_key ||
+        workspace.tt_model_ != model_) {
+      workspace.by_model_ready_.fill(false);
+      workspace.tt_key_ = tt_key;
+      workspace.tt_model_ = model_;
+      workspace.tt_valid_ = true;
+    }
     auto travel_row = [&](int cell_fuel) -> const std::array<double, 8>* {
       if (cell_fuel <= 0) return nullptr;
       auto idx = static_cast<std::size_t>(cell_fuel);
@@ -496,6 +534,7 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
               rate > 0.0 ? step_ft[k] / rate : kNeverIgnited;
         }
         workspace.by_model_ready_[idx] = true;
+        ++counters.tt_rows_built;
       }
       if (workspace.by_model_[idx].spread_rate_max <= 0.0) return nullptr;
       return &workspace.travel_time_[idx];
@@ -615,6 +654,7 @@ void FirePropagator::run_sweep(const FireEnvironment& env,
     obs::add_counter("sweep.pushes", counters.pushes);
     obs::add_counter("sweep.stale_pops", counters.stale_pops);
     obs::add_counter("sweep.bucket_redrains", counters.bucket_redrains);
+    obs::add_counter("sweep.tt_table_rebuilds", counters.tt_rows_built);
     obs::record_histogram("sweep.seconds", sweep_seconds);
   }
 }

@@ -120,6 +120,16 @@ class PropagationWorkspace {
   bool dial_dirty_ = true;
   std::array<FireBehavior, 14> by_model_{};
   std::array<bool, 14> by_model_ready_{};
+  /// Travel-time memo key: the exact inputs by_model_/travel_time_ were
+  /// built from on the uniform fast path — raw bit patterns of the eight
+  /// non-model Table-I params plus the cell size, and the spread model that
+  /// computed them. When the next uniform sweep matches bit for bit, the
+  /// ready flags survive and already-built rows are reused instead of
+  /// rebuilt (tracked-fire re-prediction hits this on every warm sweep).
+  /// Exact comparison, not a hash — a collision could silently corrupt maps.
+  std::array<std::uint64_t, 9> tt_key_{};
+  const FireSpreadModel* tt_model_ = nullptr;
+  bool tt_valid_ = false;
   /// travel_time_[model][k]: minutes to cross to 8-neighbour k for uniform
   /// topography (kNeverIgnited when the model does not spread that way).
   /// Cache-line aligned so each 64-byte row feeds the AVX2 relax kernel's

@@ -77,6 +77,14 @@ std::size_t CampaignResult::cache_insertions_rejected() const {
   return sum;
 }
 
+std::size_t CampaignResult::batch_dedup_hits() const {
+  std::size_t sum = 0;
+  for (const auto& job : jobs)
+    if (job.status == JobStatus::kSucceeded)
+      sum += job.result.total_batch_dedup_hits();
+  return sum;
+}
+
 std::size_t CampaignResult::cache_bytes() const {
   if (cache_policy == cache::CachePolicy::kShared)
     return shared_cache_stats.bytes;
@@ -166,6 +174,7 @@ JobRecord CampaignScheduler::run_job(
     pipeline_config.shared_cache = shared_cache;
     pipeline_config.simd_mode = config_.simd_mode;
     pipeline_config.numa_mode = config_.numa_mode;
+    pipeline_config.backend = config_.backend;
     ess::PredictionPipeline pipeline(workload.environment, truth,
                                      pipeline_config);
 
@@ -215,6 +224,7 @@ CampaignResult CampaignScheduler::run(
     engine_config.shared_cache = config_.shared_cache;
   engine_config.simd_mode = config_.simd_mode;
   engine_config.numa_mode = config_.numa_mode;
+  engine_config.backend = config_.backend;
   engine_config.trace_out = config_.trace_out;
   engine_config.metrics_out = config_.metrics_out;
   engine_config.on_job_done = config_.on_job_done;

@@ -71,6 +71,9 @@ struct CampaignConfig {
   /// NUMA-aware worker placement for every job's simulation workers
   /// (kAuto pins only on multi-node hosts).
   parallel::NumaMode numa_mode = parallel::NumaMode::kAuto;
+  /// Sweep backend for every job's simulation batches (bit-identical at any
+  /// setting; kBatched runs homogeneous batches as one BatchSweep launch).
+  firelib::SweepBackend backend = firelib::SweepBackend::kScalar;
 
   // Sharded campaigns (src/shard/): a worker process running one round-robin
   // slice of a larger catalog reports each job under its GLOBAL index —
@@ -133,6 +136,9 @@ struct CampaignResult {
   std::size_t cache_misses() const;
   std::size_t cache_evictions() const;
   std::size_t cache_insertions_rejected() const;
+  /// In-batch duplicate scenarios collapsed before the sweep engine,
+  /// summed over succeeded jobs (a subset of cache_hits()).
+  std::size_t batch_dedup_hits() const;
   /// Campaign cache footprint: the shared cache's live bytes under kShared,
   /// otherwise the sum of each job's peak step-cache bytes.
   std::size_t cache_bytes() const;

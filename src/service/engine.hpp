@@ -139,6 +139,7 @@ JobRecord run_prediction_job(
     const synth::Workload& workload, std::size_t index,
     std::uint64_t campaign_seed, unsigned workers, const JobSpec& spec,
     simd::Mode simd_mode, parallel::NumaMode numa_mode,
+    firelib::SweepBackend backend,
     const std::shared_ptr<cache::SharedScenarioCache>& shared_cache);
 
 struct EngineConfig {
@@ -155,6 +156,9 @@ struct EngineConfig {
   std::shared_ptr<cache::SharedScenarioCache> shared_cache;
   simd::Mode simd_mode = simd::Mode::kAuto;
   parallel::NumaMode numa_mode = parallel::NumaMode::kAuto;
+  /// Sweep backend every slot runs its jobs with (bit-identical at any
+  /// setting).
+  firelib::SweepBackend backend = firelib::SweepBackend::kScalar;
   /// Chrome trace-event JSON output path ("" or "none" = tracing off);
   /// written when the engine is destroyed.
   std::string trace_out;

@@ -76,6 +76,7 @@ void write_campaign_jsonl(const CampaignResult& result, std::ostream& out,
           << ",\"cache_insertions_rejected\":"
           << job.result.total_cache_insertions_rejected()
           << ",\"cache_peak_bytes\":" << job.result.max_cache_bytes()
+          << ",\"batch_dedup_hits\":" << job.result.total_batch_dedup_hits()
           << ",\"steps\":[";
       for (std::size_t s = 0; s < job.result.steps.size(); ++s) {
         const auto& step = job.result.steps[s];
@@ -97,6 +98,7 @@ void write_campaign_jsonl(const CampaignResult& result, std::ostream& out,
             << step.cache_insertions_rejected
             << ",\"cache_entries\":" << step.cache_entries
             << ",\"cache_bytes\":" << step.cache_bytes
+            << ",\"batch_dedup_hits\":" << step.batch_dedup_hits
             << ",\"elapsed_seconds\":" << secs(step.elapsed_seconds) << "}";
       }
       out << "]";
@@ -171,6 +173,7 @@ std::string campaign_summary_json(const CampaignResult& result,
       << ",\"cache_evictions\":" << result.cache_evictions()
       << ",\"cache_insertions_rejected\":"
       << result.cache_insertions_rejected()
+      << ",\"batch_dedup_hits\":" << result.batch_dedup_hits()
       << ",\"cache_bytes\":" << result.cache_bytes();
   if (result.cache_policy == cache::CachePolicy::kShared) {
     // Cache-global view of the campaign-wide shared cache: hits/misses here
@@ -205,7 +208,7 @@ TextTable campaign_summary_table(const CampaignResult& result,
                   " workers/job, cache " +
                   cache::to_string(result.cache_policy) + ")");
   table.set_header({"job", "workload", "status", "steps", "quality", "time[s]",
-                    "jobs/s", "ok/s", "hit%", "evict", "cache[KiB]"});
+                    "jobs/s", "ok/s", "hit%", "dedup", "evict", "cache[KiB]"});
   for (const auto& job : result.jobs) {
     const bool ok = job.status == JobStatus::kSucceeded;
     table.add_row({std::to_string(job.index), job.workload,
@@ -214,6 +217,8 @@ TextTable campaign_summary_table(const CampaignResult& result,
                    ok ? TextTable::num(job.result.mean_quality()) : "-",
                    TextTable::num(job.elapsed_seconds, 2), "-", "-",
                    ok ? TextTable::num(100.0 * job.result.cache_hit_rate(), 1)
+                      : "-",
+                   ok ? std::to_string(job.result.total_batch_dedup_hits())
                       : "-",
                    ok ? std::to_string(job.result.total_cache_evictions())
                       : "-",
@@ -229,6 +234,7 @@ TextTable campaign_summary_table(const CampaignResult& result,
                  TextTable::num(result.jobs_per_second()),
                  TextTable::num(result.succeeded_per_second()),
                  TextTable::num(100.0 * result.cache_hit_rate(), 1),
+                 std::to_string(result.batch_dedup_hits()),
                  std::to_string(result.cache_evictions()),
                  kib(result.cache_bytes())});
   return table;

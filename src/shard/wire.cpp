@@ -65,6 +65,7 @@ void encode_step(BinaryWriter& out, const ess::StepReport& step) {
   out.u64(step.cache_insertions_rejected);
   out.u64(step.cache_entries);
   out.u64(step.cache_bytes);
+  out.u64(step.batch_dedup_hits);
 }
 
 ess::StepReport decode_step(BinaryReader& in) {
@@ -88,6 +89,7 @@ ess::StepReport decode_step(BinaryReader& in) {
   step.cache_insertions_rejected = static_cast<std::size_t>(in.u64());
   step.cache_entries = static_cast<std::size_t>(in.u64());
   step.cache_bytes = static_cast<std::size_t>(in.u64());
+  step.batch_dedup_hits = static_cast<std::size_t>(in.u64());
   return step;
 }
 
@@ -147,6 +149,7 @@ std::vector<std::uint8_t> encode_worker_config(const WorkerConfig& config) {
   out.u64(config.cache_mem_bytes);
   out.u8(static_cast<std::uint8_t>(config.simd_mode));
   out.u8(static_cast<std::uint8_t>(config.numa_mode));
+  out.u8(static_cast<std::uint8_t>(config.backend));
   out.u32(config.job_concurrency);
   out.u32(config.workers_per_job);
   out.u8(config.keep_final_maps ? 1 : 0);
@@ -176,6 +179,8 @@ WorkerConfig decode_worker_config(BinaryReader& in) {
   config.simd_mode = static_cast<simd::Mode>(checked_enum(in, 2, "simd mode"));
   config.numa_mode =
       static_cast<parallel::NumaMode>(checked_enum(in, 2, "numa mode"));
+  config.backend =
+      static_cast<firelib::SweepBackend>(checked_enum(in, 1, "sweep backend"));
   config.job_concurrency = in.u32();
   config.workers_per_job = in.u32();
   config.keep_final_maps = checked_enum(in, 1, "keep_final_maps") != 0;

@@ -1,0 +1,214 @@
+// BatchSweep property tests: the batched backend must reproduce the scalar
+// FirePropagator bit for bit for every scenario of every batch — across
+// batch sizes, fuel mosaics (multiple travel-time table groups), duplicate
+// scenarios (one shared group), SIMD modes, entry-arena spills (fallback)
+// and DEM terrains (whole-batch fallback).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "firelib/batch_sweep.hpp"
+#include "firelib/environment.hpp"
+#include "firelib/propagator.hpp"
+#include "firelib/scenario.hpp"
+
+namespace essns::firelib {
+namespace {
+
+FireEnvironment uniform_env(int size) {
+  return FireEnvironment(size, size, 100.0);
+}
+
+FireEnvironment fuel_mosaic_env(int size) {
+  FireEnvironment env(size, size, 100.0);
+  Grid<std::uint8_t> fuel(size, size, 1);
+  for (int r = 0; r < size; ++r)
+    for (int c = 0; c < size; ++c) {
+      const int code = (r * 7 + c * 3) % 15;
+      fuel(r, c) = static_cast<std::uint8_t>(code > 13 ? 0 : code);  // 0 = rock
+    }
+  env.set_fuel_map(std::move(fuel));
+  return env;
+}
+
+FireEnvironment dem_env(int size) {
+  FireEnvironment env(size, size, 100.0);
+  Grid<double> slope(size, size, 0.0);
+  Grid<double> aspect(size, size, 0.0);
+  for (int r = 0; r < size; ++r)
+    for (int c = 0; c < size; ++c) {
+      slope(r, c) = (r * 13 + c * 5) % 40;
+      aspect(r, c) = (r * 31 + c * 17) % 360;
+    }
+  env.set_topography(std::move(slope), std::move(aspect));
+  return env;
+}
+
+IgnitionMap start_map(const FireEnvironment& env, Rng& rng) {
+  IgnitionMap start(env.rows(), env.cols(), kNeverIgnited);
+  const int ignitions = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < ignitions; ++i)
+    start(static_cast<int>(rng.uniform_int(0, env.rows() - 1)),
+          static_cast<int>(rng.uniform_int(0, env.cols() - 1))) =
+        rng.uniform(0.0, 10.0);
+  return start;
+}
+
+std::vector<const Scenario*> pointers(const std::vector<Scenario>& scenarios) {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios.size());
+  for (const Scenario& s : scenarios) out.push_back(&s);
+  return out;
+}
+
+/// The contract under test: every map sweep() returns must equal the scalar
+/// propagator's map for the same scenario, bitwise.
+void expect_matches_scalar(BatchSweep& batch, const FireEnvironment& env,
+                           const std::vector<Scenario>& scenarios,
+                           const IgnitionMap& start, double horizon) {
+  const FireSpreadModel model;
+  FirePropagator scalar(model);
+  scalar.set_simd_mode(batch.simd_mode());
+  const std::vector<IgnitionMap> maps =
+      batch.sweep(env, pointers(scenarios), start, horizon);
+  ASSERT_EQ(maps.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    ASSERT_EQ(maps[i], scalar.propagate(env, scenarios[i], start, horizon))
+        << "scenario " << i << ": " << scenarios[i].to_string();
+}
+
+TEST(SweepBackendTest, ParseAndToStringRoundTrip) {
+  EXPECT_EQ(parse_sweep_backend("scalar"), SweepBackend::kScalar);
+  EXPECT_EQ(parse_sweep_backend("batched"), SweepBackend::kBatched);
+  EXPECT_FALSE(parse_sweep_backend("gpu").has_value());
+  EXPECT_FALSE(parse_sweep_backend("").has_value());
+  EXPECT_STREQ(to_string(SweepBackend::kScalar), "scalar");
+  EXPECT_STREQ(to_string(SweepBackend::kBatched), "batched");
+  for (const SweepBackend backend :
+       {SweepBackend::kScalar, SweepBackend::kBatched})
+    EXPECT_EQ(parse_sweep_backend(to_string(backend)), backend);
+}
+
+TEST(BatchSweepTest, MatchesScalarAcrossBatchSizes) {
+  const FireSpreadModel model;
+  const FireEnvironment env = uniform_env(32);
+  const auto& space = ScenarioSpace::table1();
+  Rng rng(2022);
+  BatchSweep batch(model);
+  for (const std::size_t batch_size : {std::size_t{1}, std::size_t{7},
+                                       std::size_t{64}}) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    std::vector<Scenario> scenarios;
+    for (std::size_t i = 0; i < batch_size; ++i)
+      scenarios.push_back(space.sample(rng));
+    const IgnitionMap start = start_map(env, rng);
+    expect_matches_scalar(batch, env, scenarios, start,
+                          rng.uniform(30.0, 300.0));
+    EXPECT_EQ(batch.last_batched(), batch_size);
+    EXPECT_EQ(batch.last_fallbacks(), 0u);
+  }
+}
+
+TEST(BatchSweepTest, MatchesScalarOnFuelMosaic) {
+  // A fuel mosaic makes each group's travel table multi-row (one row per
+  // fuel model present), and distinct weather draws make multiple groups.
+  const FireSpreadModel model;
+  const FireEnvironment env = fuel_mosaic_env(32);
+  const auto& space = ScenarioSpace::table1();
+  Rng rng(7);
+  BatchSweep batch(model);
+  std::vector<Scenario> scenarios;
+  for (int i = 0; i < 12; ++i) scenarios.push_back(space.sample(rng));
+  const IgnitionMap start = start_map(env, rng);
+  expect_matches_scalar(batch, env, scenarios, start, 200.0);
+  // Every scenario drew distinct weather, so each is its own table group.
+  EXPECT_EQ(batch.last_table_groups(), scenarios.size());
+  EXPECT_GT(batch.last_table_rows_built(), 0u);
+}
+
+TEST(BatchSweepTest, DuplicateScenariosShareOneTableGroup) {
+  const FireSpreadModel model;
+  const FireEnvironment env = fuel_mosaic_env(24);
+  const auto& space = ScenarioSpace::table1();
+  Rng rng(13);
+  const Scenario base = space.sample(rng);
+  // Same Table-I params, different fuel models: one group, several rows.
+  std::vector<Scenario> scenarios(8, base);
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    scenarios[i].model = static_cast<int>(1 + (i % 4) * 3);
+  const IgnitionMap start = start_map(env, rng);
+  BatchSweep batch(model);
+  expect_matches_scalar(batch, env, scenarios, start, 180.0);
+  EXPECT_EQ(batch.last_table_groups(), 1u);
+  // Rows are built on demand while relaxing, so at most one per model the
+  // fire actually touched — never once per scenario.
+  EXPECT_LE(batch.last_table_rows_built(), 14u);
+}
+
+TEST(BatchSweepTest, MatchesScalarAcrossSimdModes) {
+  const FireSpreadModel model;
+  const FireEnvironment env = uniform_env(32);
+  const auto& space = ScenarioSpace::table1();
+  for (const simd::Mode mode :
+       {simd::Mode::kAuto, simd::Mode::kAvx2, simd::Mode::kScalar}) {
+    SCOPED_TRACE(simd::to_string(mode));
+    Rng rng(99);
+    std::vector<Scenario> scenarios;
+    for (int i = 0; i < 9; ++i) scenarios.push_back(space.sample(rng));
+    const IgnitionMap start = start_map(env, rng);
+    BatchSweep batch(model);
+    batch.set_simd_mode(mode);
+    expect_matches_scalar(batch, env, scenarios, start, 240.0);
+  }
+}
+
+TEST(BatchSweepTest, EntryArenaSpillFallsBackBitIdentically) {
+  const FireSpreadModel model;
+  const FireEnvironment env = uniform_env(24);
+  const auto& space = ScenarioSpace::table1();
+  Rng rng(41);
+  std::vector<Scenario> scenarios;
+  for (int i = 0; i < 6; ++i) scenarios.push_back(space.sample(rng));
+  const IgnitionMap start = start_map(env, rng);
+  BatchSweep batch(model);
+  // A stripe of 8 dial entries cannot hold a 24x24 fire: every lane spills
+  // and re-runs through the scalar propagator — results must not change.
+  batch.set_debug_entry_capacity(8);
+  expect_matches_scalar(batch, env, scenarios, start, 300.0);
+  EXPECT_GT(batch.last_fallbacks(), 0u);
+  batch.set_debug_entry_capacity(0);
+  expect_matches_scalar(batch, env, scenarios, start, 300.0);
+  EXPECT_EQ(batch.last_fallbacks(), 0u);
+}
+
+TEST(BatchSweepTest, DemTerrainFallsBackToScalarPerScenario) {
+  // Per-cell topography has no travel-time table to share; the batch engine
+  // must route the whole batch through the scalar path, bit-identically.
+  const FireSpreadModel model;
+  const FireEnvironment env = dem_env(16);
+  const auto& space = ScenarioSpace::table1();
+  Rng rng(5);
+  std::vector<Scenario> scenarios;
+  for (int i = 0; i < 4; ++i) scenarios.push_back(space.sample(rng));
+  const IgnitionMap start = start_map(env, rng);
+  BatchSweep batch(model);
+  expect_matches_scalar(batch, env, scenarios, start, 120.0);
+  EXPECT_EQ(batch.last_fallbacks(), scenarios.size());
+  EXPECT_EQ(batch.last_batched(), 0u);
+}
+
+TEST(BatchSweepTest, EmptyBatchAndValidation) {
+  const FireSpreadModel model;
+  const FireEnvironment env = uniform_env(8);
+  BatchSweep batch(model);
+  const IgnitionMap start(8, 8, kNeverIgnited);
+  EXPECT_TRUE(batch.sweep(env, {}, start, 60.0).empty());
+  const Scenario scenario;
+  EXPECT_THROW(batch.sweep(env, {&scenario}, start, -1.0), InvalidArgument);
+  EXPECT_THROW(batch.sweep(env, {nullptr}, start, 60.0), InvalidArgument);
+  const IgnitionMap wrong(4, 4, kNeverIgnited);
+  EXPECT_THROW(batch.sweep(env, {&scenario}, wrong, 60.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace essns::firelib

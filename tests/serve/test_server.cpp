@@ -85,7 +85,7 @@ TEST(ServeServer, PredictMatchesInProcessOracleAndTracksTheFire) {
   const synth::Workload workload = synth::make_workload(config.default_fire);
   const service::JobRecord oracle = service::run_prediction_job(
       workload, 0, config.seed, 1, oracle_spec(config), simd::Mode::kAuto,
-      parallel::NumaMode::kAuto, nullptr);
+      parallel::NumaMode::kAuto, firelib::SweepBackend::kScalar, nullptr);
   EXPECT_EQ(deterministic_prefix(response),
             format_job_response("f1", Verb::kPredict, oracle));
 
@@ -96,7 +96,8 @@ TEST(ServeServer, PredictMatchesInProcessOracleAndTracksTheFire) {
   extended.steps = 4;
   const service::JobRecord extended_oracle = service::run_prediction_job(
       synth::make_workload(extended), 0, config.seed, 1, oracle_spec(config),
-      simd::Mode::kAuto, parallel::NumaMode::kAuto, nullptr);
+      simd::Mode::kAuto, parallel::NumaMode::kAuto,
+      firelib::SweepBackend::kScalar, nullptr);
   EXPECT_EQ(deterministic_prefix(repredict),
             format_job_response("f1", Verb::kRepredict, extended_oracle));
 

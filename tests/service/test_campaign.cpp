@@ -277,6 +277,35 @@ TEST(CampaignReport, ZeroTimingsRendersWallClockFieldsAsZero) {
   EXPECT_EQ(jsonl.str(), jsonl_again.str());
 }
 
+TEST(CampaignScheduler, BatchedBackendRendersIdenticalCanonicalBytes) {
+  // The backend knob must be invisible in the canonical report: a batched
+  // campaign renders byte-for-byte the JSONL and summary a scalar one does.
+  // Scoped to cache off|step — under kShared with concurrent jobs the
+  // per-step cache_entries/cache_bytes samples are timing-dependent for
+  // EITHER backend (the --shards determinism scope).
+  const auto workloads = tiny_workloads();
+  const ReportOptions zero{/*zero_timings=*/true};
+  for (const cache::CachePolicy policy :
+       {cache::CachePolicy::kOff, cache::CachePolicy::kStep}) {
+    SCOPED_TRACE(cache::to_string(policy));
+    auto run_with = [&](firelib::SweepBackend backend) {
+      CampaignConfig config = tiny_config();
+      config.cache_policy = policy;
+      config.backend = backend;
+      config.job_concurrency = 2;
+      config.total_workers = 2;
+      const CampaignResult result = CampaignScheduler(config).run(workloads);
+      std::ostringstream jsonl;
+      write_campaign_jsonl(result, jsonl, zero);
+      return std::make_pair(jsonl.str(), campaign_summary_json(result, zero));
+    };
+    const auto scalar = run_with(firelib::SweepBackend::kScalar);
+    const auto batched = run_with(firelib::SweepBackend::kBatched);
+    EXPECT_EQ(scalar.first, batched.first);
+    EXPECT_EQ(scalar.second, batched.second);
+  }
+}
+
 TEST(CampaignScheduler, IndexOffsetAndStrideDefineGlobalJobIdentity) {
   // A sharded worker runs a round-robin slice under offset/stride; each
   // slice job must be bit-identical to the same global index in the full

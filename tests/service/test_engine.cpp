@@ -184,7 +184,8 @@ TEST(PredictionEngine, SubmittedJobMatchesPureOracle) {
 
   const JobRecord oracle = run_prediction_job(
       workloads[0], 3, 77, engine.default_workers_per_job(), tiny_spec(),
-      simd::Mode::kAuto, parallel::NumaMode::kAuto, nullptr);
+      simd::Mode::kAuto, parallel::NumaMode::kAuto,
+      firelib::SweepBackend::kScalar, nullptr);
 
   EXPECT_EQ(scheduled.status, JobStatus::kSucceeded);
   EXPECT_EQ(scheduled.seed, oracle.seed);

@@ -139,6 +139,7 @@ service::JobRecord random_record(Rng& rng, bool with_maps) {
         static_cast<std::size_t>(rng.uniform_int(0, 100));
     step.cache_entries = static_cast<std::size_t>(rng.uniform_int(0, 100));
     step.cache_bytes = static_cast<std::size_t>(rng.uniform_int(0, 1 << 20));
+    step.batch_dedup_hits = static_cast<std::size_t>(rng.uniform_int(0, 1000));
     record.result.steps.push_back(step);
   }
   if (with_maps) {
@@ -175,6 +176,7 @@ void expect_equal(const service::JobRecord& a, const service::JobRecord& b) {
     EXPECT_EQ(x.os_evaluations, y.os_evaluations);
     EXPECT_EQ(x.cache_hits, y.cache_hits);
     EXPECT_EQ(x.cache_bytes, y.cache_bytes);
+    EXPECT_EQ(x.batch_dedup_hits, y.batch_dedup_hits);
   }
   EXPECT_EQ(a.final_probability, b.final_probability);
   EXPECT_EQ(a.final_prediction, b.final_prediction);
@@ -267,6 +269,7 @@ TEST(WireFormat, WorkerConfigRoundTrips) {
   config.cache_mem_bytes = 123456789;
   config.simd_mode = simd::Mode::kScalar;
   config.numa_mode = parallel::NumaMode::kOn;
+  config.backend = firelib::SweepBackend::kBatched;
   config.job_concurrency = 3;
   config.workers_per_job = 4;
   config.keep_final_maps = true;
@@ -293,6 +296,7 @@ TEST(WireFormat, WorkerConfigRoundTrips) {
   EXPECT_EQ(back.cache_mem_bytes, config.cache_mem_bytes);
   EXPECT_EQ(back.simd_mode, config.simd_mode);
   EXPECT_EQ(back.numa_mode, config.numa_mode);
+  EXPECT_EQ(back.backend, config.backend);
   EXPECT_EQ(back.job_concurrency, config.job_concurrency);
   EXPECT_EQ(back.workers_per_job, config.workers_per_job);
   EXPECT_EQ(back.keep_final_maps, config.keep_final_maps);
